@@ -1,0 +1,61 @@
+"""Shared state for the benchmark suite.
+
+The paper's tables build on each other (Table 4 selects from Table 3,
+Table 5 and Figures 5-7 consume the selections), so expensive artifacts
+are computed once per pytest session and cached here.  Every benchmark
+prints its rows (run with ``-s`` to see them live) and also writes them
+under ``benchmarks/out/`` so results survive the run.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+from repro.bench import (
+    ExperimentConfig,
+    table1_cutsize_design,
+    table2_cutsize_multilevel,
+    table3_presim,
+    table5_full_sim,
+)
+
+#: the benchmark workload: a single scaled Viterbi decoder — one
+#: decoder like the paper's (no trivially separable channels), with the
+#: heavyweight SMU super-gates that make the balance factor bite
+CFG = ExperimentConfig(
+    circuit="viterbi-single",
+    presim_vectors=60,
+    full_vectors=600,
+    seed=1,
+)
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/out/."""
+    print()
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@functools.lru_cache(maxsize=1)
+def design_rows():
+    return table1_cutsize_design(CFG)
+
+
+@functools.lru_cache(maxsize=1)
+def multilevel_rows():
+    return table2_cutsize_multilevel(CFG)
+
+
+@functools.lru_cache(maxsize=1)
+def presim_study():
+    return table3_presim(CFG)
+
+
+@functools.lru_cache(maxsize=1)
+def full_sim_rows():
+    return table5_full_sim(CFG, presim_study())

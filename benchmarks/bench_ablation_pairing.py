@@ -1,0 +1,43 @@
+"""Ablation — pairing strategies (paper §3.1.1).
+
+The paper lists random (fast, poor), exhaustive (slow, escapes local
+minima), cut-based, and gain-based pairing; it does not publish a
+comparison table.  This benchmark produces one: final cut and wall time
+per strategy on the Table-1 workload.
+"""
+
+import time
+
+from _shared import CFG, emit
+
+from repro.bench import format_table
+from repro.circuits import load_circuit
+from repro.core import design_driven_partition
+
+
+def test_pairing_strategies(benchmark):
+    netlist = load_circuit(CFG.circuit)
+
+    def sweep():
+        rows = []
+        for strategy in ("random", "cut", "gain", "exhaustive"):
+            t0 = time.perf_counter()
+            r = design_driven_partition(
+                netlist, k=4, b=7.5, seed=CFG.seed, pairing=strategy
+            )
+            rows.append([strategy, r.cut_size, r.balanced,
+                         f"{time.perf_counter() - t0:.2f}"])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_pairing",
+        format_table(
+            ["pairing", "cut", "balanced", "time (s)"],
+            rows,
+            title=f"Ablation: pairing strategy (k=4, b=7.5, {CFG.circuit})",
+        ),
+    )
+    cuts = {r[0]: r[1] for r in rows}
+    # exhaustive search must not lose to random pairing
+    assert cuts["exhaustive"] <= cuts["random"]

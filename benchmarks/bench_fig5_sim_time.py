@@ -1,0 +1,36 @@
+"""Figure 5 — simulation time vs number of machines (1..4).
+
+Paper: ~3640 s sequential falling to ~1906 s at k=4, with visibly
+diminishing returns ("as the number of processors increases, the
+circuit is divided more finely and the design hierarchy is destroyed").
+"""
+
+from _shared import CFG, emit, full_sim_rows
+
+from repro.bench import PAPER_SEQ_TIME_FULL, PAPER_TABLE5, format_series
+
+
+def test_fig5_simulation_time(benchmark):
+    def compute():
+        rows, seq_wall = full_sim_rows()
+        xs = [1] + [r.k for r in rows]
+        ys = [seq_wall] + [r.sim_time for r in rows]
+        return xs, ys
+
+    xs, ys = benchmark.pedantic(compute, rounds=1, iterations=1)
+    paper = [PAPER_SEQ_TIME_FULL] + [PAPER_TABLE5[k][2] for k in (2, 3, 4)]
+    series = format_series(
+        "machines",
+        xs,
+        {
+            "measured time (s)": [f"{y:.4f}" for y in ys],
+            "paper time (s)": paper,
+        },
+        title=f"Figure 5: simulation time vs machines ({CFG.circuit})",
+    )
+    emit("fig5_sim_time", series)
+    # monotone decrease with diminishing returns
+    assert all(ys[i + 1] < ys[i] for i in range(len(ys) - 1))
+    first_drop = ys[0] - ys[1]
+    last_drop = ys[-2] - ys[-1]
+    assert last_drop < first_drop

@@ -1,0 +1,30 @@
+"""Figure 6 — message count vs machines during pre-simulation, per b.
+
+Paper: up to ~7e5 messages; counts grow with machine count and shrink
+as the balance constraint relaxes (bigger b keeps modules whole, so
+fewer nets cross machines).
+"""
+
+from _shared import CFG, emit, presim_study
+
+from repro.bench import fig6_fig7_messages_rollbacks, format_series
+
+
+def test_fig6_messages(benchmark):
+    def compute():
+        return fig6_fig7_messages_rollbacks(presim_study())
+
+    messages, _, ks = benchmark.pedantic(compute, rounds=1, iterations=1)
+    series = format_series(
+        "machines",
+        ks,
+        {f"b={b}": counts for b, counts in sorted(messages.items())},
+        title=f"Figure 6: messages during pre-simulation ({CFG.circuit})",
+    )
+    emit("fig6_messages", series)
+    bs = sorted(messages)
+    # tightest b sends the most messages at the largest k
+    k_idx = len(ks) - 1
+    assert messages[bs[0]][k_idx] >= messages[bs[-1]][k_idx]
+    # messages grow with machine count for the tightest b
+    assert messages[bs[0]][-1] >= messages[bs[0]][0]

@@ -1,0 +1,29 @@
+"""Figure 7 — rollback count vs machines during pre-simulation, per b.
+
+Paper: up to ~1.8e4 rollbacks, growing with machines and shrinking as b
+relaxes — "relaxing the load balancing constraint results in fewer
+messages and rollbacks", the paper's closing evidence that
+pre-simulation must arbitrate the communication/balance trade-off.
+"""
+
+from _shared import CFG, emit, presim_study
+
+from repro.bench import fig6_fig7_messages_rollbacks, format_series
+
+
+def test_fig7_rollbacks(benchmark):
+    def compute():
+        return fig6_fig7_messages_rollbacks(presim_study())
+
+    _, rollbacks, ks = benchmark.pedantic(compute, rounds=1, iterations=1)
+    series = format_series(
+        "machines",
+        ks,
+        {f"b={b}": counts for b, counts in sorted(rollbacks.items())},
+        title=f"Figure 7: rollbacks during pre-simulation ({CFG.circuit})",
+    )
+    emit("fig7_rollbacks", series)
+    bs = sorted(rollbacks)
+    k_idx = len(ks) - 1
+    # the tightest balance rolls back at least as much as the loosest
+    assert rollbacks[bs[0]][k_idx] >= rollbacks[bs[-1]][k_idx]

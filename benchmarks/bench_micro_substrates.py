@@ -1,0 +1,97 @@
+"""Micro-benchmarks of the individual substrates.
+
+Unlike the table/figure benchmarks (single-shot experiment
+reproductions), these use pytest-benchmark's statistical timing to
+track the throughput of each building block: the Verilog front end,
+hypergraph construction, FM refinement, multilevel coarsening, and
+both simulators.
+"""
+
+import numpy as np
+
+from _shared import CFG
+
+from repro.baselines import coarsen, fm_refine_bisection, multilevel_bisect
+from repro.circuits import circuit_source, load_circuit, random_vectors
+from repro.core import design_driven_partition
+from repro.hypergraph import Clustering, flat_hypergraph
+from repro.sim import (
+    ClusterSpec,
+    SequentialSimulator,
+    TimeWarpConfig,
+    TimeWarpEngine,
+    compile_circuit,
+)
+from repro.verilog import compile_verilog, parse_source
+
+
+SRC = circuit_source(CFG.circuit)
+NETLIST = load_circuit(CFG.circuit)
+CIRCUIT = compile_circuit(NETLIST)
+FLAT = flat_hypergraph(NETLIST)
+EVENTS = random_vectors(NETLIST, 10, seed=1)
+
+
+def test_parse(benchmark):
+    benchmark(parse_source, SRC)
+
+
+def test_elaborate(benchmark):
+    benchmark(compile_verilog, SRC)
+
+
+def test_flat_hypergraph_build(benchmark):
+    benchmark(lambda: Clustering.flat(NETLIST).hypergraph())
+
+
+def test_hierarchy_hypergraph_build(benchmark):
+    benchmark(lambda: Clustering.top_level(NETLIST).hypergraph())
+
+
+def test_fm_bisection_refine(benchmark):
+    rng = np.random.default_rng(0)
+    total = FLAT.total_weight
+
+    def run():
+        side = rng.integers(0, 2, size=FLAT.num_vertices).astype(np.int64)
+        return fm_refine_bisection(
+            FLAT, side, (0.4 * total, 0.6 * total), (0.4 * total, 0.6 * total),
+            max_passes=2,
+        )
+
+    benchmark(run)
+
+
+def test_coarsen_stack(benchmark):
+    benchmark(lambda: coarsen(FLAT, target_vertices=96, seed=0))
+
+
+def test_multilevel_bisect(benchmark):
+    benchmark(lambda: multilevel_bisect(FLAT, seed=0))
+
+
+def test_design_driven_partition(benchmark):
+    benchmark(lambda: design_driven_partition(NETLIST, k=4, b=10.0, seed=1))
+
+
+def test_sequential_sim_10_vectors(benchmark):
+    def run():
+        sim = SequentialSimulator(CIRCUIT)
+        sim.add_inputs(EVENTS)
+        return sim.run().gate_evals
+
+    benchmark(run)
+
+
+def test_timewarp_sim_10_vectors(benchmark):
+    part = design_driven_partition(NETLIST, k=4, b=10.0, seed=1)
+    clusters, lpm = part.to_simulation()
+
+    def run():
+        eng = TimeWarpEngine(
+            CIRCUIT, clusters, lpm, ClusterSpec(num_machines=4), TimeWarpConfig()
+        )
+        eng.load_inputs(EVENTS)
+        return eng.run().processed_events
+
+    benchmark(run)

@@ -1,0 +1,31 @@
+"""Table 1 — hyperedge cut of the design-driven partitioner over (k, b).
+
+Paper values (1.2 M-gate netlist): 2428 down to 513 at k=2; the shape
+to reproduce is cut falling as b relaxes and rising with k, well below
+the flat multilevel baseline of Table 2.
+"""
+
+from _shared import CFG, design_rows, emit
+
+from repro.bench import PAPER_TABLE1, format_table
+
+
+def test_table1_cutsize_design(benchmark):
+    rows = benchmark.pedantic(design_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["k", "b", "cut (measured)", "cut (paper)", "balanced", "flattened"],
+        [
+            [r.k, r.b, r.cut, PAPER_TABLE1[(r.k, r.b)], r.balanced,
+             r.extra.get("flatten_steps", 0)]
+            for r in rows
+        ],
+        title=f"Table 1: design-driven cut size ({CFG.circuit})",
+    )
+    emit("table1_cutsize_design", table)
+    # shape assertions (not absolute values — the circuit is scaled)
+    by_kb = {(r.k, r.b): r.cut for r in rows}
+    ks = sorted({r.k for r in rows})
+    bs = sorted({r.b for r in rows})
+    for k in ks:
+        assert by_kb[(k, bs[-1])] <= by_kb[(k, bs[0])]
+    assert by_kb[(ks[-1], bs[2])] >= by_kb[(ks[0], bs[2])]

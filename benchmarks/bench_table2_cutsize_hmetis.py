@@ -1,0 +1,47 @@
+"""Table 2 — hyperedge cut of the hMetis-style multilevel partitioner
+run on the flattened netlist, same (k, b) grid.
+
+Paper values: ~2670 (k=2) to ~3190 (k=4), nearly flat in b, sitting
+~4.5x above Table 1 everywhere.  **Reproduction caveat**: our
+from-scratch multilevel baseline, with standard large-net handling in
+coarsening, is *stronger* than the paper's reported hMetis results —
+at this circuit scale it matches the hierarchy-aware cut on the easy
+points and only falls decisively behind as module count grows (25x at
+k=4 on the 388-instance paper-shape circuit; see
+``bench_paper_scale``).  What remains robust, and is asserted here:
+the design-driven algorithm is competitive everywhere, wins in
+aggregate at the largest k, always meets Formula 1 (the baseline's
+recursive UBfactors can compound past it), and partitions a
+40-vertex hypergraph instead of a 4000-vertex one.
+"""
+
+from _shared import CFG, design_rows, emit, multilevel_rows
+
+from repro.bench import PAPER_TABLE2, format_table, shape_checks_cutsize
+
+
+def test_table2_cutsize_multilevel(benchmark):
+    rows = benchmark.pedantic(multilevel_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["k", "b", "cut (measured)", "formula 1", "cut (paper hMetis)"],
+        [[r.k, r.b, r.cut, r.balanced, PAPER_TABLE2[(r.k, r.b)]] for r in rows],
+        title=f"Table 2: multilevel (hMetis-style) cut on the flat netlist ({CFG.circuit})",
+    )
+    design = {(r.k, r.b): r.cut for r in design_rows()}
+    flat = {(r.k, r.b): r.cut for r in rows}
+    checks = shape_checks_cutsize(
+        design,
+        flat,
+        design_balanced={(r.k, r.b): r.balanced for r in design_rows()},
+        multilevel_balanced={(r.k, r.b): r.balanced for r in rows},
+    )
+    ratio = sum(flat.values()) / max(sum(design.values()), 1)
+    block = "\n".join(
+        [table, "",
+         f"aggregate flat/design cut ratio: {ratio:.2f}x at this scale "
+         f"(paper: ~4.5x on the 1.2M-gate netlist; measured 25x at k=4 "
+         f"on the 388-instance paper-shape circuit)", ""]
+        + [str(c) for c in checks]
+    )
+    emit("table2_cutsize_hmetis", block)
+    assert all(c.passed for c in checks), [str(c) for c in checks]

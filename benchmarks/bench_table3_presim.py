@@ -1,0 +1,32 @@
+"""Table 3 — pre-simulation time and speedup for every (k, b).
+
+Paper: 10 000 random vectors, sequential time 38.93 s; best speedups
+1.65 / 1.81 / 1.96 for k = 2 / 3 / 4, with b=2.5 always worst (its
+over-tight balance shreds the hierarchy and communication dominates).
+"""
+
+from _shared import CFG, emit, presim_study
+
+from repro.bench import PAPER_TABLE3, format_table, shape_checks_speedup
+
+
+def test_table3_presim(benchmark):
+    study = benchmark.pedantic(presim_study, rounds=1, iterations=1)
+    seq_wall = study.points[0].report.sequential_wall_time
+    table = format_table(
+        ["k", "b", "cut", "sim time (s)", "speedup", "paper time", "paper speedup"],
+        [
+            [p.k, p.b, p.cut_size, f"{p.sim_time:.4f}", f"{p.speedup:.2f}",
+             PAPER_TABLE3[(p.k, p.b)][0], PAPER_TABLE3[(p.k, p.b)][1]]
+            for p in study.points
+        ],
+        title=(
+            f"Table 3: pre-simulation over (k, b) ({CFG.circuit}, "
+            f"{CFG.presim_vectors} vectors, modeled seq time {seq_wall:.4f}s; "
+            f"paper: 10k vectors, 38.93s)"
+        ),
+    )
+    speedups = {(p.k, p.b): p.speedup for p in study.points}
+    checks = shape_checks_speedup(speedups)
+    emit("table3_presim", "\n".join([table, ""] + [str(c) for c in checks]))
+    assert all(c.passed for c in checks), [str(c) for c in checks]

@@ -1,0 +1,173 @@
+"""Assemble EXPERIMENTS.md from the benchmark outputs.
+
+Run the benchmark suite first (it writes ``benchmarks/out/*.txt``),
+then::
+
+    python benchmarks/make_experiments_md.py
+
+The document records paper-vs-measured for every table and figure plus
+the ablations, with the scaling context needed to read the comparison.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT = Path(__file__).parent / "out"
+TARGET = Path(__file__).parent.parent / "EXPERIMENTS.md"
+
+HEADER = """\
+# EXPERIMENTS — paper vs measured
+
+Reproduction of every table and figure in the evaluation section of
+*"A Multiway Partitioning Algorithm for Parallel Gate Level Verilog
+Simulation"* (Li & Tropper, ICPP 2008).  Regenerate everything with::
+
+    pytest benchmarks/ --benchmark-only -s
+    python benchmarks/make_experiments_md.py
+
+## Scaling context (read this first)
+
+| | paper | this reproduction |
+|---|---|---|
+| circuit | RPI synthesized Viterbi decoder, 388 modules, ~1.2 M gates | synthetic hierarchical Viterbi (`viterbi-single`): 1 decoder, 40 top-level instances, 4 322 gates (`viterbi-paper` reproduces the 388-instance shape for partition-only studies) |
+| platform | 4x AMD Athlon 1 GHz / 512 MB, 1 Gb Ethernet, MPICH, DVS+OOCTW | deterministic virtual cluster: 2 µs/event, 40 µs/message sender CPU, 120 µs latency; Clustered Time Warp kernel |
+| vectors | 10 000 pre-sim / 1 000 000 full | 60 pre-sim / 600 full (same 10:1 ratio family, laptop-scale) |
+| timing | wall-clock seconds on hardware | modeled seconds (bit-reproducible) |
+
+Absolute cut sizes scale with circuit size and absolute times with the
+cost model; the reproduction targets are the paper's *qualitative
+results*: who wins, what trends in b and k, where the optimum sits.
+Each section below embeds the mechanical shape checks
+(`repro.bench.shape_checks_*`) that encode those claims.
+
+Every parallel run in these experiments is verified against the
+sequential oracle: identical final net values and identical committed
+event counts.
+"""
+
+SECTIONS = [
+    ("Table 1 — design-driven cut size", "table1_cutsize_design",
+     "Paper: cut falls ~5x from b=2.5 to b=15 at every k (2428 -> 513 at "
+     "k=2) and rises with k. Measured: same trends; the 'flattened' column "
+     "shows where the balance constraint forced super-gate flattening."),
+    ("Table 2 — hMetis-style multilevel on the flattened netlist",
+     "table2_cutsize_hmetis",
+     "Paper: hMetis sits at ~2670-3195, nearly flat in b, ~4.5x above "
+     "Table 1 everywhere.  Measured — an honest reproduction caveat: "
+     "our from-scratch multilevel baseline (with standard large-net "
+     "handling) is STRONGER than the paper's reported hMetis numbers "
+     "and ties the hierarchy-aware cut at this 4k-gate scale.  The "
+     "claims that survive a strong baseline, asserted below: the "
+     "design-driven cut is competitive everywhere, wins in aggregate "
+     "at k=4, always meets Formula 1 (the baseline's recursive "
+     "UBfactors compound past it at tight b), partitions a 40-vertex "
+     "hypergraph instead of a 4000-vertex one, and pulls decisively "
+     "ahead at the paper's module count (the paper-scale section: 25x "
+     "at k=4 on 388 instances)."),
+    ("Table 3 — pre-simulation time and speedup per (k, b)",
+     "table3_presim",
+     "Paper: b=2.5 is always worst (0.44-0.69 speedup, slower than "
+     "sequential); the best point is k=4 at 1.96. Measured: b=2.5 is the "
+     "worst column at every k; the per-k best speedups rise with k to the "
+     "same ~1.9-2.0 region."),
+    ("Table 4 — best partition per machine count", "table4_best",
+     "Paper winners: (k=2, b=12.5), (k=3, b=10), (k=4, b=7.5). Measured "
+     "winners likewise sit at intermediate b — never the tightest "
+     "balance, confirming that minimum cut-size alone does not give the "
+     "best performance (the paper's §4.3 point)."),
+    ("Table 5 — full simulation on the winners", "table5_full_sim",
+     "Paper: full-run speedups 1.65/1.79/1.91, slightly below the "
+     "pre-simulation predictions. Measured: the same close tracking of "
+     "presim vs full speedup, and the same weak growth with k."),
+    ("Figure 5 — simulation time vs machines", "fig5_sim_time",
+     "Paper: monotone decrease with visibly diminishing returns from "
+     "k=2 to k=4 (hierarchy destroyed as the circuit is divided more "
+     "finely). Measured: same curve shape."),
+    ("Figure 6 — messages vs machines (per b)", "fig6_messages",
+     "Paper: message counts grow with machine count and shrink as b "
+     "relaxes. Measured: same ordering; the tight-b series dominates."),
+    ("Figure 7 — rollbacks vs machines (per b)", "fig7_rollbacks",
+     "Paper: rollbacks up to ~1.8e4, growing with machines, shrinking "
+     "with b. Measured: same shape at reproduction scale."),
+    ("Heuristic pre-simulation (Figure 3 / §3.4)", "heuristic_presim",
+     "Paper: two pre-simulation runs sufficed for their circuit; the "
+     "heuristic can be trapped in local minima. Measured: runs saved and "
+     "the speedup gap vs the brute-force envelope."),
+    ("Ablation — pairing strategies (§3.1.1)", "ablation_pairing",
+     "The paper lists random/exhaustive/cut/gain pairing without "
+     "numbers; measured: exhaustive pairing is never worse than random, "
+     "at higher cost."),
+    ("Ablation — cone vs random initial partition (§3.3)",
+     "ablation_initial",
+     "Cone partitioning seeds FM with input-to-output concurrency; "
+     "measured against a random initial assignment after identical "
+     "refinement."),
+    ("Ablation — super-gate flattening (§3.2)", "ablation_flattening",
+     "With flattening disabled, tight b is simply infeasible at module "
+     "granularity; enabled, the algorithm trades cut for feasibility."),
+    ("Ablation — lazy vs aggressive cancellation (kernel)",
+     "ablation_cancellation",
+     "Not in the paper: on a deterministic cluster, lazy cancellation "
+     "suppresses identical re-sends; committed work is identical by "
+     "construction."),
+    ("Paper-scale partitioning (388 instances)", "paper_scale",
+     "The viterbi-paper generator reproduces the RPI netlist's module "
+     "count exactly (388 top-level instances, ~93k gates).  Partitioning "
+     "at that structure — the closest match to the original experiment "
+     "this reproduction can run — shows the same multi-x cut advantage."),
+    ("Ablation — direct pairwise vs recursive bipartitioning (§3.1.1)",
+     "ablation_direct_vs_recursive",
+     "The paper chose the direct algorithm over recursion.  Measured: "
+     "recursion only ever undercuts the direct algorithm by violating "
+     "Formula 1 (e.g. loads [6, 1066, 308, 16] on the CPU workload); "
+     "wherever it stays feasible the direct algorithm matches it."),
+    ("Extension — activity-based load metric (the paper's future work)",
+     "ext_load_metric",
+     "The paper's conclusion names the gate-count load metric as 'not "
+     "entirely adequate'; this extension balances profiled gate "
+     "activity instead and compares the resulting speedups."),
+    ("Extension — dynamic kernel policies",
+     "ext_dynamic",
+     "Adaptive checkpointing and load-driven LP migration (the paper's "
+     "'responsive to changes in processor loads').  Measured: migration "
+     "rescues a skewed placement but cannot beat a good static "
+     "partition — it balances load while ignoring the communication "
+     "affinity the design-driven partitioner optimizes."),
+    ("Extension — Time Warp vs conservative simulation",
+     "ext_conservative",
+     "Why DVS is optimistic: Time Warp lands within a few percent of an "
+     "idealized zero-overhead conservative bound, while a realizable "
+     "null-message protocol at one-tick lookahead would drown in null "
+     "traffic (estimated column) — speedups below 0.5."),
+    ("Extension — second workload (the paper's planned Sparc design)",
+     "second_workload",
+     "The paper planned to repeat the study on a synthesized CPU.  "
+     "Measured on the CPU-shaped generator: the design-driven "
+     "partitioner is the only one that always meets Formula 1, ties the "
+     "flat baseline at k=2, and loses ground at k>=3 where the "
+     "datapath's natural min-cut runs along bit slices across module "
+     "boundaries — an honest limit of hierarchy-aware partitioning."),
+]
+
+
+def main() -> None:
+    parts = [HEADER]
+    missing = []
+    for title, stem, commentary in SECTIONS:
+        path = OUT / f"{stem}.txt"
+        parts.append(f"\n## {title}\n")
+        parts.append(commentary + "\n")
+        if path.exists():
+            parts.append("```text\n" + path.read_text().rstrip() + "\n```\n")
+        else:
+            missing.append(stem)
+            parts.append("*(benchmark output missing — run the suite first)*\n")
+    TARGET.write_text("\n".join(parts))
+    print(f"wrote {TARGET}")
+    if missing:
+        print("missing sections:", ", ".join(missing))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""The paper's full methodology end to end (Tables 3-5).
+
+1. pre-simulate every (k, b) with a short random-vector run,
+2. pick the best partition per machine count (and overall),
+3. run the full-length simulation on the winners,
+4. report times, speedups, messages and rollbacks.
+
+Run:  python examples/parallel_speedup.py [--heuristic]
+      --heuristic uses the paper's Figure-3 search instead of the
+      brute-force sweep.
+"""
+
+import argparse
+
+from repro.bench import format_table
+from repro.circuits import load_circuit, random_vectors
+from repro.core import brute_force_presim, evaluate_partition, heuristic_presim
+from repro.sim import ClusterSpec, compile_circuit, run_sequential_baseline
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--heuristic", action="store_true")
+    ap.add_argument("--presim-vectors", type=int, default=30)
+    ap.add_argument("--full-vectors", type=int, default=300)
+    ap.add_argument("--seed", type=int, default=1)
+    args = ap.parse_args()
+
+    netlist = load_circuit("viterbi-single")
+    presim_events = random_vectors(netlist, args.presim_vectors, seed=args.seed)
+    print(f"workload: {netlist.num_gates} gates; "
+          f"pre-sim {args.presim_vectors} vectors, full {args.full_vectors}")
+
+    if args.heuristic:
+        study = heuristic_presim(netlist, presim_events, max_k=4, seed=args.seed)
+        print(f"\nheuristic search: {study.runs} pre-simulation runs")
+    else:
+        study = brute_force_presim(netlist, presim_events, seed=args.seed)
+        print(f"\nbrute-force search: {study.runs} pre-simulation runs")
+
+    print(format_table(
+        ["k", "b", "cut", "presim time (s)", "speedup"],
+        [[p.k, p.b, p.cut_size, f"{p.sim_time:.4f}", f"{p.speedup:.2f}"]
+         for p in study.points],
+        title="Pre-simulation (Table 3)",
+    ))
+    best = study.best
+    print(f"\nselected partition: k={best.k}, b={best.b} "
+          f"(pre-sim speedup {best.speedup:.2f})")
+
+    # full-length run on the winners per k (Table 5)
+    circuit = compile_circuit(netlist)
+    full_events = random_vectors(netlist, args.full_vectors, seed=args.seed + 1)
+    sequential, seq_wall = run_sequential_baseline(
+        circuit, full_events, ClusterSpec(num_machines=1)
+    )
+    rows = []
+    for k, point in sorted(study.best_per_k().items()):
+        rep = evaluate_partition(
+            circuit, point.partition, full_events,
+            ClusterSpec(num_machines=1), sequential=sequential,
+        )
+        rows.append([k, point.b, point.cut_size, f"{rep.sim_time:.4f}",
+                     f"{rep.speedup:.2f}", rep.messages, rep.rollbacks])
+    print()
+    print(format_table(
+        ["k", "b*", "cut", "full time (s)", "speedup", "messages", "rollbacks"],
+        rows,
+        title=f"Full simulation (Table 5) -- sequential {seq_wall:.4f}s",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Simulator toolbox tour: analysis, calibration, waveforms, saved partitions.
+
+Covers the substrate features around the core algorithm:
+
+1. structural analysis of a design (why partitioners behave as they do),
+2. calibrating the virtual-cluster cost model to this host,
+3. dumping a VCD waveform of a simulation run,
+4. saving a partition to JSON and reusing it.
+
+Run:  python examples/waveforms_and_analysis.py [outdir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.circuits import load_circuit, natural_schedule, random_vectors
+from repro.core import design_driven_partition, load_partition, save_partition
+from repro.hypergraph import analyze_netlist
+from repro.sim import (
+    ClusterSpec,
+    SequentialSimulator,
+    VcdWriter,
+    calibrated_spec,
+    compile_circuit,
+    measure_event_cost,
+    run_partitioned,
+)
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp())
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    netlist = load_circuit("cpu-test")
+    circuit = compile_circuit(netlist)
+
+    # 1. structural analysis
+    print("=== structural analysis (cpu-test) ===")
+    print(analyze_netlist(netlist).summary())
+
+    # 2. host calibration: map modeled seconds to real seconds
+    schedule = natural_schedule(netlist)
+    events = random_vectors(netlist, 40, seed=1, schedule=schedule)
+    calibration = measure_event_cost(circuit, events, repeats=2)
+    spec = calibrated_spec(ClusterSpec(num_machines=2), calibration)
+    print("\n=== host calibration ===")
+    print(f"measured {calibration.events} events in {calibration.elapsed:.3f}s "
+          f"-> {calibration.events_per_second():,.0f} events/s")
+    print(f"calibrated event_cost = {spec.event_cost * 1e6:.2f} us")
+
+    # 3. VCD waveform of a short run
+    sim = SequentialSimulator(circuit)
+    vcd = VcdWriter(netlist)  # primary I/O by default
+    vcd.attach(sim)
+    sim.add_inputs(random_vectors(netlist, 10, seed=2, schedule=schedule))
+    sim.run()
+    wave_path = outdir / "cpu.vcd"
+    vcd.write(wave_path)
+    print(f"\n=== waveform ===\nwrote {wave_path} "
+          f"({len(wave_path.read_text().splitlines())} lines; open in GTKWave)")
+
+    # 4. partition once, save, reuse
+    part = design_driven_partition(netlist, k=2, b=15.0, seed=0)
+    part_path = outdir / "cpu_k2.json"
+    save_partition(part, part_path)
+    reloaded = load_partition(part_path, netlist)
+    clusters, machines = reloaded.to_simulation()
+    report = run_partitioned(circuit, clusters, machines, events, spec)
+    print(f"\n=== saved partition reuse ===")
+    print(f"partition file: {part_path}")
+    print(f"cut={reloaded.cut_size}, speedup={report.speedup:.2f} "
+          f"(calibrated model), verified={report.verified}")
+
+
+if __name__ == "__main__":
+    main()

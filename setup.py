@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+`pip install -e .` on this offline box lacks the `wheel` package that
+setuptools' PEP 660 editable path requires; `python setup.py develop`
+(or the pre-installed `.pth` shim) provides the same editable install.
+"""
+from setuptools import setup
+
+setup()

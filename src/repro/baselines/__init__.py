@@ -1,0 +1,28 @@
+"""Baseline partitioners the paper compares against (or that ground it).
+
+* :func:`multilevel_partition` — from-scratch hMetis-style multilevel
+  k-way partitioner (coarsen / initial / uncoarsen+FM / recursive
+  bisection); the paper ran hMetis on the flattened netlist.
+* :func:`multilevel_bisect` — one multilevel bisection.
+* :func:`random_partition` — seeded balanced random floor.
+"""
+
+from .multilevel import MultilevelResult, multilevel_bisect, multilevel_partition
+from .random_partition import random_partition
+from .fm2 import cut_of, fm_refine_bisection
+from .coarsen import coarsen, coarsen_once, CoarseLevel
+from .initial import grow_bisection, random_bisection
+
+__all__ = [
+    "MultilevelResult",
+    "multilevel_bisect",
+    "multilevel_partition",
+    "random_partition",
+    "cut_of",
+    "fm_refine_bisection",
+    "coarsen",
+    "coarsen_once",
+    "CoarseLevel",
+    "grow_bisection",
+    "random_bisection",
+]

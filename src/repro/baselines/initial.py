@@ -1,0 +1,80 @@
+"""Initial bipartition of the coarsest hypergraph.
+
+hMetis computes several random bisections of the coarsest graph and
+keeps the best after refinement.  Two seeders are provided: random
+balanced assignment, and greedy hyperedge-aware region growing (start
+from a random vertex, absorb the most-connected frontier vertex until
+the target weight is reached) — region growing usually lands far below
+random and gives FM a better basin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hypergraph.hypergraph import Hypergraph
+
+__all__ = ["random_bisection", "grow_bisection"]
+
+
+def random_bisection(
+    hg: Hypergraph,
+    target0: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Random assignment filling side 0 to ``target0`` total weight."""
+    side = np.ones(hg.num_vertices, dtype=np.int64)
+    order = rng.permutation(hg.num_vertices)
+    acc = 0
+    for v in order:
+        wv = int(hg.vertex_weight[v])
+        if acc + wv <= target0 or acc == 0:
+            side[v] = 0
+            acc += wv
+        if acc >= target0:
+            break
+    return side
+
+
+def grow_bisection(
+    hg: Hypergraph,
+    target0: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Greedy region growing: side 0 absorbs the most-connected
+    frontier vertex until it reaches the target weight."""
+    n = hg.num_vertices
+    side = np.ones(n, dtype=np.int64)
+    start = int(rng.integers(n))
+    side[start] = 0
+    acc = int(hg.vertex_weight[start])
+    # connectivity of each outside vertex to the grown region
+    conn = np.zeros(n, dtype=np.float64)
+    in_region = np.zeros(n, dtype=bool)
+    in_region[start] = True
+
+    def absorb(v: int) -> None:
+        for e in hg.vertex_edges(v):
+            pins = hg.edge_vertices(int(e))
+            if len(pins) < 2:
+                continue
+            w = float(hg.edge_weight[e]) / (len(pins) - 1)
+            for u in pins:
+                if not in_region[u]:
+                    conn[u] += w
+
+    absorb(start)
+    while acc < target0:
+        candidates = np.flatnonzero(~in_region)
+        if len(candidates) == 0:
+            break
+        best = candidates[np.argmax(conn[candidates])]
+        if conn[best] == 0.0:
+            best = candidates[int(rng.integers(len(candidates)))]
+        v = int(best)
+        side[v] = 0
+        in_region[v] = True
+        acc += int(hg.vertex_weight[v])
+        conn[v] = 0.0
+        absorb(v)
+    return side

@@ -1,0 +1,31 @@
+"""Random balanced partitioner — the floor every heuristic must beat."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..hypergraph.hypergraph import Hypergraph
+
+__all__ = ["random_partition"]
+
+
+def random_partition(
+    hg: Hypergraph, k: int, seed: int = 0
+) -> np.ndarray:
+    """Seeded random assignment, greedily weight-balanced.
+
+    Vertices are shuffled and each is placed on the currently lightest
+    partition — random cut structure, near-perfect balance.
+    """
+    if k < 1 or k > hg.num_vertices:
+        raise PartitionError(f"invalid k={k} for {hg.num_vertices} vertices")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(hg.num_vertices)
+    assignment = np.zeros(hg.num_vertices, dtype=np.int64)
+    load = np.zeros(k, dtype=np.int64)
+    for v in order:
+        p = int(np.argmin(load))
+        assignment[v] = p
+        load[p] += int(hg.vertex_weight[v])
+    return assignment

@@ -1,0 +1,65 @@
+"""Circuit workloads: generators, named registry, stimulus streams.
+
+* :func:`viterbi_verilog` / :class:`ViterbiConfig` — the paper's
+  workload (synthetic hierarchical Viterbi decoder), with
+  :data:`PAPER_CONFIG` matching the RPI netlist's 388-instance shape.
+* :mod:`repro.circuits.generators` — adders, multiplier, counter,
+  LFSR, pipeline, mesh, random-logic test circuits.
+* :func:`load_circuit` — compile a registry entry by name.
+* :func:`random_vectors` — the paper's random-vector stimulus with
+  clock detection.
+"""
+
+from .viterbi import (
+    ViterbiConfig,
+    viterbi_verilog,
+    PAPER_CONFIG,
+    BENCH_CONFIG,
+    TEST_CONFIG,
+)
+from .generators import (
+    ripple_adder_verilog,
+    multiplier_verilog,
+    counter_verilog,
+    lfsr_verilog,
+    pipeline_verilog,
+    mesh_verilog,
+    random_logic_verilog,
+)
+from .cpu import CpuConfig, cpu_verilog, CPU_BENCH_CONFIG, CPU_TEST_CONFIG
+from .library import CIRCUITS, available_circuits, circuit_source, load_circuit
+from .vectors import (
+    VectorSchedule,
+    detect_clocks,
+    natural_schedule,
+    random_vectors,
+    vector_events,
+)
+
+__all__ = [
+    "ViterbiConfig",
+    "viterbi_verilog",
+    "PAPER_CONFIG",
+    "BENCH_CONFIG",
+    "TEST_CONFIG",
+    "ripple_adder_verilog",
+    "multiplier_verilog",
+    "counter_verilog",
+    "lfsr_verilog",
+    "pipeline_verilog",
+    "mesh_verilog",
+    "random_logic_verilog",
+    "CIRCUITS",
+    "available_circuits",
+    "circuit_source",
+    "load_circuit",
+    "VectorSchedule",
+    "detect_clocks",
+    "natural_schedule",
+    "random_vectors",
+    "vector_events",
+    "CpuConfig",
+    "cpu_verilog",
+    "CPU_BENCH_CONFIG",
+    "CPU_TEST_CONFIG",
+]

@@ -1,0 +1,148 @@
+"""Tiny helper for emitting structural Verilog from generators.
+
+Generators build module bodies line by line; :class:`ModuleWriter`
+handles port/wire declarations and gate instantiation syntax so the
+generator code reads like netlist construction, not string plumbing.
+All emitted text parses back through :mod:`repro.verilog`.
+"""
+
+from __future__ import annotations
+
+import io
+
+__all__ = ["ModuleWriter", "bus"]
+
+
+def bus(name: str, width: int) -> list[str]:
+    """Bit references ``name[0] .. name[width-1]`` (LSB first); a bare
+    ``name`` for width 1."""
+    if width == 1:
+        return [name]
+    return [f"{name}[{i}]" for i in range(width)]
+
+
+class ModuleWriter:
+    """Accumulates one Verilog module definition."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._ports: list[tuple[str, str, int]] = []  # (dir, name, width)
+        self._wires: list[tuple[str, int]] = []
+        self._body: list[str] = []
+        self._tmp = 0
+
+    # -- declarations ------------------------------------------------------
+
+    def input(self, name: str, width: int = 1) -> list[str]:
+        self._ports.append(("input", name, width))
+        return bus(name, width)
+
+    def output(self, name: str, width: int = 1) -> list[str]:
+        self._ports.append(("output", name, width))
+        return bus(name, width)
+
+    def wire(self, name: str, width: int = 1) -> list[str]:
+        self._wires.append((name, width))
+        return bus(name, width)
+
+    def fresh(self, prefix: str = "t", width: int = 1) -> list[str]:
+        """Declare a uniquely named scratch wire."""
+        name = f"{prefix}_{self._tmp}"
+        self._tmp += 1
+        return self.wire(name, width)
+
+    # -- gates ----------------------------------------------------------------
+
+    def gate(self, gtype: str, out: str, *ins: str) -> None:
+        terms = ", ".join((out, *ins))
+        self._body.append(f"  {gtype} ({terms});")
+
+    def dff(self, q: str, d: str, clk: str) -> None:
+        self._body.append(f"  dff ({q}, {d}, {clk});")
+
+    def dffr(self, q: str, d: str, clk: str, rst: str) -> None:
+        self._body.append(f"  dffr ({q}, {d}, {clk}, {rst});")
+
+    def instance(self, module: str, name: str, connections: dict[str, str]) -> None:
+        conns = ", ".join(f".{p}({e})" for p, e in connections.items())
+        self._body.append(f"  {module} {name} ({conns});")
+
+    def raw(self, line: str) -> None:
+        self._body.append("  " + line)
+
+    # -- compound gate-level blocks ----------------------------------------------
+
+    def full_adder(self, a: str, b: str, cin: str, s: str, cout: str) -> None:
+        """5-gate full adder."""
+        t = self.fresh("fa", 3)
+        self.gate("xor", t[0], a, b)
+        self.gate("xor", s, t[0], cin)
+        self.gate("and", t[1], t[0], cin)
+        self.gate("and", t[2], a, b)
+        self.gate("or", cout, t[1], t[2])
+
+    def ripple_add(self, a: list[str], b: list[str], s: list[str], cout: str | None = None,
+                   cin: str | None = None) -> None:
+        """Ripple-carry adder over equal-width buses."""
+        width = len(a)
+        carries = self.fresh("rc", width)
+        prev = cin
+        for i in range(width):
+            if prev is None:
+                # half adder for the first stage
+                self.gate("xor", s[i], a[i], b[i])
+                self.gate("and", carries[i], a[i], b[i])
+            else:
+                self.full_adder(a[i], b[i], prev, s[i], carries[i])
+            prev = carries[i]
+        if cout is not None:
+            self.gate("buf", cout, prev)
+
+    def less_than(self, a: list[str], b: list[str], lt: str) -> None:
+        """Unsigned comparator: lt = (a < b), MSB-down ripple."""
+        width = len(a)
+        prev: str | None = None
+        for i in range(width - 1, -1, -1):
+            eq = self.fresh("lt_eq")[0]
+            li = self.fresh("lt_lt")[0]
+            nb = self.fresh("lt_nb")[0]
+            self.gate("xnor", eq, a[i], b[i])
+            self.gate("not", nb, a[i])
+            self.gate("and", li, nb, b[i])
+            if prev is None:
+                prev = li
+            else:
+                keep = self.fresh("lt_keep")[0]
+                self.gate("and", keep, eq, prev)
+                nxt = self.fresh("lt_next")[0]
+                self.gate("or", nxt, li, keep)
+                prev = nxt
+        self.gate("buf", lt, prev if prev is not None else "1'b0")
+
+    def mux2(self, sel: str, a: list[str], b: list[str], y: list[str]) -> None:
+        """y = sel ? b : a, bitwise (3 gates + shared inverter)."""
+        nsel = self.fresh("mx_ns")[0]
+        self.gate("not", nsel, sel)
+        for i in range(len(a)):
+            ta = self.fresh("mx_a")[0]
+            tb = self.fresh("mx_b")[0]
+            self.gate("and", ta, a[i], nsel)
+            self.gate("and", tb, b[i], sel)
+            self.gate("or", y[i], ta, tb)
+
+    # -- emission -------------------------------------------------------------------
+
+    def emit(self) -> str:
+        out = io.StringIO()
+        port_names = ", ".join(p[1] for p in self._ports)
+        out.write(f"module {self.name} ({port_names});\n")
+        for direction, name, width in self._ports:
+            rng = f"[{width - 1}:0] " if width > 1 else ""
+            out.write(f"  {direction} {rng}{name};\n")
+        for name, width in self._wires:
+            rng = f"[{width - 1}:0] " if width > 1 else ""
+            out.write(f"  wire {rng}{name};\n")
+        for line in self._body:
+            out.write(line + "\n")
+        out.write("endmodule\n")
+        return out.getvalue()

@@ -1,0 +1,442 @@
+"""Synthetic gate-level CPU datapath — the paper's planned second workload.
+
+The paper closes: "we are now in the process of synthesizing a gate
+level Verilog design from an open source RTL design for a Sparc
+computer so that we may experiment on a large, realistic design."  That
+netlist never appeared in a follow-up we can reuse, so this generator
+provides the equivalent: a hierarchical gate-level in-order CPU
+datapath whose module mix differs structurally from the Viterbi
+decoder — a register file of flip-flop banks (two-level hierarchy,
+like the decoder's SMU), a wide combinational ALU, a PLA-style control
+decoder, a gate-LUT program ROM, and pipeline registers — so the
+partitioner is exercised on a second, differently shaped design.
+
+The datapath is functionally real: the program counter walks a ROM of
+encoded instructions; each instruction reads two registers, runs the
+ALU, and writes back.  Programs are pseudo-random but fixed by seed.
+
+Instruction encoding (width-independent):
+
+    [op:3][rd:RB][ra:RB][rb:RB]   RB = log2(registers)
+
+ops: 0 add, 1 sub (two's complement via add + invert), 2 and, 3 or,
+4 xor, 5 mov-a, 6 nor, 7 not-a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ._vlog import ModuleWriter, bus
+
+__all__ = ["CpuConfig", "cpu_verilog", "CPU_BENCH_CONFIG", "CPU_TEST_CONFIG"]
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Generator parameters.
+
+    ``registers`` must be a power of two; ``rom_size`` instructions are
+    generated pseudo-randomly from ``program_seed``.
+    """
+
+    width: int = 8
+    registers: int = 8
+    rom_size: int = 32
+    program_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width < 4:
+            raise ConfigError("width must be >= 4")
+        if self.registers < 2 or self.registers & (self.registers - 1):
+            raise ConfigError("registers must be a power of two >= 2")
+        if self.rom_size < 2 or self.rom_size & (self.rom_size - 1):
+            raise ConfigError("rom_size must be a power of two >= 2")
+
+    @property
+    def reg_bits(self) -> int:
+        return max(1, (self.registers - 1).bit_length())
+
+    @property
+    def pc_bits(self) -> int:
+        return max(1, (self.rom_size - 1).bit_length())
+
+    @property
+    def insn_bits(self) -> int:
+        return 3 + 3 * self.reg_bits
+
+
+CPU_BENCH_CONFIG = CpuConfig(width=8, registers=8, rom_size=32, program_seed=7)
+CPU_TEST_CONFIG = CpuConfig(width=4, registers=4, rom_size=8, program_seed=3)
+
+
+def _decoder_module(n_out: int, name: str) -> str:
+    """n_in -> 2^n_in one-hot decoder built from AND trees."""
+    n_in = max(1, (n_out - 1).bit_length())
+    m = ModuleWriter(name)
+    a = m.input("a", n_in)
+    y = m.output("y", n_out)
+    inv = m.wire("ninv", n_in)
+    for i in range(n_in):
+        m.gate("not", inv[i], a[i])
+    for o in range(n_out):
+        terms = [a[i] if (o >> i) & 1 else inv[i] for i in range(n_in)]
+        if len(terms) == 1:
+            m.gate("buf", y[o], terms[0])
+        else:
+            acc = terms[0]
+            for t in terms[1:-1]:
+                nxt = m.fresh("dp")[0]
+                m.gate("and", nxt, acc, t)
+                acc = nxt
+            m.gate("and", y[o], acc, terms[-1])
+    return m.emit()
+
+
+def _register_module(cfg: CpuConfig) -> str:
+    """One W-bit register with write enable and synchronous reset.
+
+    Synthesis style: a hold mux (``en ? d : q``) in front of a
+    resettable flip-flop, so the whole datapath leaves X after reset.
+    """
+    m = ModuleWriter("cpu_reg")
+    d = m.input("d", cfg.width)
+    clk = m.input("clk")[0]
+    rst = m.input("rst")[0]
+    en = m.input("en")[0]
+    q = m.output("q", cfg.width)
+    held = m.wire("held", cfg.width)
+    for i in range(cfg.width):
+        m.mux2(en, [q[i]], [d[i]], [held[i]])
+        m.dffr(q[i], held[i], clk, rst)
+    return m.emit()
+
+
+def _regfile_module(cfg: CpuConfig) -> str:
+    """Register file: write decoder + cpu_reg banks + two read muxes."""
+    R, W, RB = cfg.registers, cfg.width, cfg.reg_bits
+    m = ModuleWriter("cpu_regfile")
+    clk = m.input("clk")[0]
+    rst = m.input("rst")[0]
+    wen = m.input("wen")[0]
+    wsel = m.input("wsel", RB)
+    wdata = m.input("wdata", W)
+    asel = m.input("asel", RB)
+    bsel = m.input("bsel", RB)
+    adata = m.output("adata", W)
+    bdata = m.output("bdata", W)
+    onehot = m.wire("woh", R)
+    m.instance("cpu_wdec", "wdec", {"a": "wsel", "y": "woh"})
+    for r in range(R):
+        en = m.wire(f"we_{r}")[0]
+        m.gate("and", en, wen, onehot[r])
+        m.wire(f"q{r}", W)
+        m.instance(
+            "cpu_reg", f"r{r}",
+            {"d": "wdata", "clk": clk, "rst": rst, "en": en, "q": f"q{r}"},
+        )
+    reg_conns = {f"q{r}": f"q{r}" for r in range(R)}
+    m.instance("cpu_rdmux", "amux", {**reg_conns, "sel": "asel", "out": "adata"})
+    m.instance("cpu_rdmux", "bmux", {**reg_conns, "sel": "bsel", "out": "bdata"})
+    return m.emit()
+
+
+def _rdmux_module(cfg: CpuConfig) -> str:
+    """Read port: binary mux tree over the register outputs."""
+    R, W, RB = cfg.registers, cfg.width, cfg.reg_bits
+    m = ModuleWriter("cpu_rdmux")
+    for r in range(R):
+        m.input(f"q{r}", W)
+    sel = m.input("sel", RB)
+    out = m.output("out", W)
+    layer = [f"q{r}" for r in range(R)]
+    for level in range(RB):
+        nxt = []
+        for i in range(0, len(layer), 2):
+            if i + 1 >= len(layer):
+                nxt.append(layer[i])
+                continue
+            name = f"mx_{level}_{i // 2}"
+            m.wire(name, W)
+            m.mux2(
+                sel[level],
+                bus(layer[i], W),
+                bus(layer[i + 1], W),
+                bus(name, W),
+            )
+            nxt.append(name)
+        layer = nxt
+    for i in range(W):
+        m.gate("buf", out[i], f"{layer[0]}[{i}]")
+    return m.emit()
+
+
+def _alu_arith_module(cfg: CpuConfig) -> str:
+    """Arithmetic unit: add and subtract results."""
+    W = cfg.width
+    m = ModuleWriter("cpu_arith")
+    a = m.input("a", W)
+    b = m.input("b", W)
+    add = m.output("add", W)
+    sub = m.output("sub", W)
+    m.ripple_add(a, b, add)
+    nb = m.wire("nb", W)
+    for i in range(W):
+        m.gate("not", nb[i], b[i])
+    m.ripple_add(a, nb, sub, cin="1'b1")
+    return m.emit()
+
+
+def _alu_logic_module(cfg: CpuConfig) -> str:
+    """Logic unit: bitwise and/or/xor/mov/nor/not results."""
+    W = cfg.width
+    m = ModuleWriter("cpu_logicops")
+    a = m.input("a", W)
+    b = m.input("b", W)
+    andr = m.output("andr", W)
+    orr = m.output("orr", W)
+    xorr = m.output("xorr", W)
+    mova = m.output("mova", W)
+    norr = m.output("norr", W)
+    nota = m.output("nota", W)
+    for i in range(W):
+        m.gate("and", andr[i], a[i], b[i])
+        m.gate("or", orr[i], a[i], b[i])
+        m.gate("xor", xorr[i], a[i], b[i])
+        m.gate("buf", mova[i], a[i])
+        m.gate("nor", norr[i], a[i], b[i])
+        m.gate("not", nota[i], a[i])
+    return m.emit()
+
+
+def _alu_select_module(cfg: CpuConfig) -> str:
+    """Result selector: 8:1 mux tree over the unit outputs."""
+    W = cfg.width
+    m = ModuleWriter("cpu_alusel")
+    names = ["add", "sub", "andr", "orr", "xorr", "mova", "norr", "nota"]
+    buses = [m.input(n, W) for n in names]
+    op = m.input("op", 3)
+    y = m.output("y", W)
+    lvl0 = []
+    for idx in range(4):
+        w = m.wire(f"sel0_{idx}", W)
+        m.mux2(op[0], buses[2 * idx], buses[2 * idx + 1], w)
+        lvl0.append(w)
+    lvl1 = []
+    for idx in range(2):
+        w = m.wire(f"sel1_{idx}", W)
+        m.mux2(op[1], lvl0[2 * idx], lvl0[2 * idx + 1], w)
+        lvl1.append(w)
+    m.mux2(op[2], lvl1[0], lvl1[1], y)
+    return m.emit()
+
+
+def _alu_module(cfg: CpuConfig) -> str:
+    """8-op ALU composed of arithmetic, logic, and select sub-units
+    (real synthesis hierarchy: the partitioner can flatten the ALU one
+    level before reaching raw gates)."""
+    W = cfg.width
+    m = ModuleWriter("cpu_alu")
+    a = m.input("a", W)
+    b = m.input("b", W)
+    op = m.input("op", 3)
+    y = m.output("y", W)
+    for n in ("r_add", "r_sub", "r_and", "r_or", "r_xor", "r_mova",
+              "r_nor", "r_nota"):
+        m.wire(n, W)
+    m.instance("cpu_arith", "arith", {"a": "a", "b": "b", "add": "r_add",
+                                       "sub": "r_sub"})
+    m.instance(
+        "cpu_logicops", "logic",
+        {"a": "a", "b": "b", "andr": "r_and", "orr": "r_or",
+         "xorr": "r_xor", "mova": "r_mova", "norr": "r_nor",
+         "nota": "r_nota"},
+    )
+    m.instance(
+        "cpu_alusel", "sel",
+        {"add": "r_add", "sub": "r_sub", "andr": "r_and", "orr": "r_or",
+         "xorr": "r_xor", "mova": "r_mova", "norr": "r_nor",
+         "nota": "r_nota", "op": "op", "y": "y"},
+    )
+    return m.emit()
+
+
+_ROM_BANK_BITS = 4
+
+
+def _rom_bank_modules(cfg: CpuConfig) -> tuple[list[str], list[tuple[str, int, int]]]:
+    """OR-plane banks of up to 4 instruction bits each.
+
+    Returns (module texts, [(module name, lo bit, width)]).  Bank
+    contents are program-specific, so each bank is its own module def.
+    """
+    rng = np.random.default_rng(cfg.program_seed)
+    IB = cfg.insn_bits
+    words = [int(rng.integers(0, 1 << IB)) for _ in range(cfg.rom_size)]
+    texts: list[str] = []
+    banks: list[tuple[str, int, int]] = []
+    for lo in range(0, IB, _ROM_BANK_BITS):
+        width = min(_ROM_BANK_BITS, IB - lo)
+        name = f"cpu_rombank{lo // _ROM_BANK_BITS}"
+        m = ModuleWriter(name)
+        rows = m.input("row", cfg.rom_size)
+        data = m.output("data", width)
+        for off in range(width):
+            bit = lo + off
+            with_bit = [r for r in range(cfg.rom_size) if (words[r] >> bit) & 1]
+            if not with_bit:
+                m.gate("buf", data[off], "1'b0")
+            elif len(with_bit) == 1:
+                m.gate("buf", data[off], rows[with_bit[0]])
+            else:
+                acc = rows[with_bit[0]]
+                for r in with_bit[1:-1]:
+                    nxt = m.fresh("orp")[0]
+                    m.gate("or", nxt, acc, rows[r])
+                    acc = nxt
+                m.gate("or", data[off], acc, rows[with_bit[-1]])
+        texts.append(m.emit())
+        banks.append((name, lo, width))
+    return texts, banks
+
+
+def _rom_module(cfg: CpuConfig) -> str:
+    """Program ROM: address decoder + OR-plane banks."""
+    IB = cfg.insn_bits
+    m = ModuleWriter("cpu_rom")
+    addr = m.input("addr", cfg.pc_bits)
+    data = m.output("data", IB)
+    m.wire("row", cfg.rom_size)
+    m.instance("cpu_adec", "adec", {"a": "addr", "y": "row"})
+    _, banks = _rom_bank_modules(cfg)
+    for name, lo, width in banks:
+        out = f"bank{lo // _ROM_BANK_BITS}"
+        out_bits = m.wire(out, width)
+        m.instance(name, f"u_{out}", {"row": "row", "data": out})
+        for off in range(width):
+            m.gate("buf", data[lo + off], out_bits[off])
+    return m.emit()
+
+
+def _pc_module(cfg: CpuConfig) -> str:
+    """Program counter: resettable incrementing register."""
+    PB = cfg.pc_bits
+    m = ModuleWriter("cpu_pc")
+    clk = m.input("clk")[0]
+    rst = m.input("rst")[0]
+    pc = m.output("pc", PB)
+    nxt = m.wire("nxt", PB)
+    prev: str | None = None
+    for i in range(PB):
+        if prev is None:
+            m.gate("not", nxt[i], pc[i])
+            prev = pc[i]
+        else:
+            m.gate("xor", nxt[i], pc[i], prev)
+            c = m.fresh("pcc")[0]
+            m.gate("and", c, pc[i], prev)
+            prev = c
+    for i in range(PB):
+        m.dffr(pc[i], nxt[i], clk, rst)
+    return m.emit()
+
+
+def _pipereg_module(name: str, width: int) -> str:
+    m = ModuleWriter(name)
+    d = m.input("d", width)
+    clk = m.input("clk")[0]
+    rst = m.input("rst")[0]
+    q = m.output("q", width)
+    for i in range(width):
+        m.dffr(q[i], d[i], clk, rst)
+    return m.emit()
+
+
+def _top_module(cfg: CpuConfig) -> str:
+    W, RB, IB, PB = cfg.width, cfg.reg_bits, cfg.insn_bits, cfg.pc_bits
+    m = ModuleWriter("cpu_top")
+    clk = m.input("clk")[0]
+    rst = m.input("rst")[0]
+    din = m.input("din", W)      # external operand injected into r0 writes
+    result = m.output("result", W)
+
+    m.wire("pc", PB)
+    m.instance("cpu_pc", "pc_u", {"clk": clk, "rst": rst, "pc": "pc"})
+    m.wire("insn", IB)
+    m.instance("cpu_rom", "rom_u", {"addr": "pc", "data": "insn"})
+    m.wire("insn_q", IB)
+    m.instance(
+        "cpu_ifreg", "if_reg",
+        {"d": "insn", "clk": clk, "rst": rst, "q": "insn_q"},
+    )
+
+    # decode fields
+    op_lo = 3 * RB
+    m.wire("alu_y", W)
+    m.wire("adata", W)
+    m.wire("bdata", W)
+    m.wire("wdata", W)
+    # wdata = alu_y xor din (keeps external inputs relevant every cycle)
+    for i in range(W):
+        m.gate("xor", f"wdata[{i}]", f"alu_y[{i}]", f"din[{i}]")
+    m.instance(
+        "cpu_regfile", "rf",
+        {
+            "clk": clk,
+            "rst": rst,
+            "wen": "1'b1",
+            "wsel": f"insn_q[{op_lo - 2 * RB - 1}:{op_lo - 3 * RB}]"
+            if RB > 1 else f"insn_q[{op_lo - 3 * RB}]",
+            "wdata": "wdata",
+            "asel": f"insn_q[{op_lo - RB - 1}:{op_lo - 2 * RB}]"
+            if RB > 1 else f"insn_q[{op_lo - 2 * RB}]",
+            "bsel": f"insn_q[{op_lo - 1}:{op_lo - RB}]"
+            if RB > 1 else f"insn_q[{op_lo - RB}]",
+            "adata": "adata",
+            "bdata": "bdata",
+        },
+    )
+    m.instance(
+        "cpu_alu", "alu_u",
+        {
+            "a": "adata",
+            "b": "bdata",
+            "op": f"insn_q[{IB - 1}:{IB - 3}]",
+            "y": "alu_y",
+        },
+    )
+    m.wire("res_q", W)
+    m.instance(
+        "cpu_exreg", "ex_reg",
+        {"d": "alu_y", "clk": clk, "rst": rst, "q": "res_q"},
+    )
+    for i in range(W):
+        m.gate("buf", result[i], f"res_q[{i}]")
+    return m.emit()
+
+
+def cpu_verilog(cfg: CpuConfig = CPU_BENCH_CONFIG) -> str:
+    """Generate the CPU datapath as Verilog source text."""
+    bank_texts, _ = _rom_bank_modules(cfg)
+    return "\n".join(
+        [
+            _decoder_module(cfg.registers, "cpu_wdec"),
+            _decoder_module(cfg.rom_size, "cpu_adec"),
+            _register_module(cfg),
+            _rdmux_module(cfg),
+            _regfile_module(cfg),
+            _alu_arith_module(cfg),
+            _alu_logic_module(cfg),
+            _alu_select_module(cfg),
+            _alu_module(cfg),
+            *bank_texts,
+            _rom_module(cfg),
+            _pc_module(cfg),
+            _pipereg_module("cpu_ifreg", cfg.insn_bits),
+            _pipereg_module("cpu_exreg", cfg.width),
+            _top_module(cfg),
+        ]
+    )

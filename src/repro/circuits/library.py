@@ -1,0 +1,74 @@
+"""Named circuit registry.
+
+Benchmarks, examples and tests refer to circuits by name; the registry
+maps names to generator thunks so a workload is one string in an
+experiment config.  Every entry compiles through the full Verilog
+front end (no precompiled netlists), keeping the paper's vvp-like
+input path exercised everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigError
+from ..verilog import Netlist, compile_verilog
+from .generators import (
+    counter_verilog,
+    lfsr_verilog,
+    mesh_verilog,
+    multiplier_verilog,
+    pipeline_verilog,
+    random_logic_verilog,
+    ripple_adder_verilog,
+)
+from .cpu import CPU_BENCH_CONFIG, CPU_TEST_CONFIG, cpu_verilog
+from .viterbi import BENCH_CONFIG, PAPER_CONFIG, TEST_CONFIG, ViterbiConfig, viterbi_verilog
+
+__all__ = ["CIRCUITS", "circuit_source", "load_circuit", "available_circuits"]
+
+CIRCUITS: dict[str, Callable[[], str]] = {
+    "adder8": lambda: ripple_adder_verilog(8),
+    "adder16": lambda: ripple_adder_verilog(16),
+    "mul4": lambda: multiplier_verilog(4),
+    "mul6": lambda: multiplier_verilog(6),
+    "counter8": lambda: counter_verilog(8),
+    "lfsr16": lambda: lfsr_verilog(16),
+    "pipeline4": lambda: pipeline_verilog(4, 8),
+    "pipeline8": lambda: pipeline_verilog(8, 8),
+    "mesh3x3": lambda: mesh_verilog(3, 3, 4),
+    "mesh4x4": lambda: mesh_verilog(4, 4, 4),
+    "randlogic": lambda: random_logic_verilog(300, 8, seed=1),
+    "viterbi-test": lambda: viterbi_verilog(TEST_CONFIG),
+    "viterbi-bench": lambda: viterbi_verilog(BENCH_CONFIG),
+    # the paper-shape workload: a single decoder, no trivially
+    # independent halves, balance pressure at tight b
+    "viterbi-single": lambda: viterbi_verilog(
+        ViterbiConfig(channels=1, states=16, traceback=32, width=6)
+    ),
+    "viterbi-paper": lambda: viterbi_verilog(PAPER_CONFIG),
+    # the paper's planned second workload: a CPU-shaped design
+    "cpu-test": lambda: cpu_verilog(CPU_TEST_CONFIG),
+    "cpu8": lambda: cpu_verilog(CPU_BENCH_CONFIG),
+}
+
+
+def available_circuits() -> list[str]:
+    """Registered circuit names."""
+    return sorted(CIRCUITS)
+
+
+def circuit_source(name: str) -> str:
+    """Verilog source for a registered circuit."""
+    try:
+        gen = CIRCUITS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown circuit {name!r}; available: {', '.join(available_circuits())}"
+        )
+    return gen()
+
+
+def load_circuit(name: str) -> Netlist:
+    """Compile a registered circuit to an elaborated netlist."""
+    return compile_verilog(circuit_source(name))

@@ -1,0 +1,355 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's pipeline so the whole flow is scriptable
+without writing Python:
+
+* ``circuits`` — list the generated workload registry
+* ``generate`` — emit a registry circuit as Verilog text
+* ``info`` — compile a Verilog file, report size and hierarchy
+* ``partition`` — partition a design (design-driven / multilevel / random)
+* ``simulate`` — sequential reference simulation with random vectors
+* ``psim`` — partition + parallel (Time Warp) simulation with speedup
+* ``search`` — pre-simulation (k, b) selection, brute force or heuristic
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import __version__
+from .errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Design-driven multiway partitioning for parallel "
+        "gate-level Verilog simulation (Li & Tropper, ICPP 2008).",
+    )
+    p.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("circuits", help="list generated workload circuits")
+
+    g = sub.add_parser("generate", help="emit a registry circuit as Verilog")
+    g.add_argument("name")
+
+    i = sub.add_parser("info", help="compile a Verilog file and report stats")
+    i.add_argument("file", type=Path)
+    i.add_argument("--top", default=None)
+    i.add_argument("--tree", action="store_true", help="print the instance tree")
+    i.add_argument("--stats", action="store_true",
+                   help="structural analysis (depth, locality, fanout)")
+
+    pa = sub.add_parser("partition", help="partition a design")
+    pa.add_argument("file", type=Path)
+    pa.add_argument("-k", type=int, default=2, help="number of partitions")
+    pa.add_argument("-b", type=float, default=10.0, help="balance factor (%%)")
+    pa.add_argument("--top", default=None)
+    pa.add_argument("--seed", type=int, default=0)
+    pa.add_argument(
+        "--algorithm",
+        choices=("design", "multilevel", "random"),
+        default="design",
+    )
+    pa.add_argument("--pairing", default="gain",
+                    choices=("random", "exhaustive", "cut", "gain"))
+    pa.add_argument("--assignment-out", type=Path, default=None,
+                    help="write '<gate name> <partition>' lines here")
+    pa.add_argument("--save", type=Path, default=None,
+                    help="save the partition as reusable JSON "
+                         "(design algorithm only)")
+
+    o = sub.add_parser("optimize", help="constant-prop + dead-gate cleanup")
+    o.add_argument("file", type=Path)
+    o.add_argument("--top", default=None)
+    o.add_argument("-o", "--output", type=Path, default=None,
+                   help="write the optimized flat Verilog here")
+
+    s = sub.add_parser("simulate", help="sequential reference simulation")
+    s.add_argument("file", type=Path)
+    s.add_argument("--top", default=None)
+    s.add_argument("--vectors", type=int, default=100)
+    s.add_argument("--seed", type=int, default=0)
+
+    ps = sub.add_parser("psim", help="partition + parallel Time Warp simulation")
+    ps.add_argument("file", type=Path)
+    ps.add_argument("-k", type=int, default=2)
+    ps.add_argument("-b", type=float, default=10.0)
+    ps.add_argument("--top", default=None)
+    ps.add_argument("--vectors", type=int, default=100)
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument("--aggressive", action="store_true",
+                    help="classic aggressive cancellation instead of lazy")
+    ps.add_argument("--partition", type=Path, default=None,
+                    help="reuse a partition saved with 'partition --save'")
+    ps.add_argument("--conservative", action="store_true",
+                    help="idealized conservative mode (no rollbacks)")
+
+    sw = sub.add_parser("sweep", help="full (k, b) grid, optionally "
+                                      "across processes")
+    sw.add_argument("file", type=Path)
+    sw.add_argument("--top", default=None)
+    sw.add_argument("--ks", default="2,3,4",
+                    help="comma-separated machine counts")
+    sw.add_argument("--bs", default="2.5,5,7.5,10,12.5,15",
+                    help="comma-separated balance factors")
+    sw.add_argument("--vectors", type=int, default=40)
+    sw.add_argument("--seed", type=int, default=1)
+    sw.add_argument("--workers", type=int, default=None,
+                    help="process count (default: serial)")
+
+    se = sub.add_parser("search", help="pre-simulation (k, b) selection")
+    se.add_argument("file", type=Path)
+    se.add_argument("--top", default=None)
+    se.add_argument("--max-k", type=int, default=4)
+    se.add_argument("--vectors", type=int, default=50)
+    se.add_argument("--seed", type=int, default=0)
+    se.add_argument("--heuristic", action="store_true",
+                    help="use the paper's Figure-3 search")
+    return p
+
+
+def _load(args) -> "object":
+    from .verilog import compile_verilog
+
+    text = args.file.read_text()
+    return compile_verilog(text, top=args.top)
+
+
+def _cmd_circuits(args, out) -> int:
+    from .circuits import available_circuits, load_circuit
+
+    for name in available_circuits():
+        netlist = load_circuit(name)
+        out.write(
+            f"{name:16s} {netlist.num_gates:>7d} gates "
+            f"{len(netlist.hierarchy.children):>4d} instances\n"
+        )
+    return 0
+
+
+def _cmd_generate(args, out) -> int:
+    from .circuits import circuit_source
+
+    out.write(circuit_source(args.name))
+    return 0
+
+
+def _cmd_info(args, out) -> int:
+    netlist = _load(args)
+    out.write(f"top module : {netlist.top}\n")
+    out.write(f"gates      : {netlist.num_gates}\n")
+    out.write(f"nets       : {netlist.num_nets}\n")
+    out.write(f"inputs     : {len(netlist.inputs)}\n")
+    out.write(f"outputs    : {len(netlist.outputs)}\n")
+    out.write(f"flip-flops : {len(netlist.sequential_gates())}\n")
+    out.write(f"instances  : {len(netlist.hierarchy.children)} (top level)\n")
+    undriven = netlist.undriven_nets()
+    if undriven:
+        out.write(f"undriven   : {len(undriven)} nets (simulate as X)\n")
+    if args.stats:
+        from .hypergraph import analyze_netlist
+
+        out.write("\n" + analyze_netlist(netlist).summary() + "\n")
+    if args.tree:
+        for node in netlist.hierarchy.walk():
+            indent = "  " * len(node.path)
+            out.write(f"{indent}{node.name} [{node.module}] "
+                      f"{node.total_gates} gates\n")
+    return 0
+
+
+def _cmd_partition(args, out) -> int:
+    netlist = _load(args)
+    if args.save is not None and args.algorithm != "design":
+        print("error: --save requires --algorithm design", file=sys.stderr)
+        return 1
+    if args.algorithm == "design":
+        from .core import design_driven_partition
+
+        r = design_driven_partition(
+            netlist, k=args.k, b=args.b, seed=args.seed, pairing=args.pairing
+        )
+        cut, loads = r.cut_size, r.part_weights.tolist()
+        out.write(f"algorithm : design-driven (pairing={args.pairing})\n")
+        out.write(f"balanced  : {r.balanced} (flatten steps: {r.flatten_steps})\n")
+        gate_assignment = r.gate_assignment()
+        if args.save is not None:
+            from .core import save_partition
+
+            save_partition(r, args.save)
+            out.write(f"saved      {args.save}\n")
+    else:
+        from .hypergraph import flat_hypergraph
+        from .hypergraph.metrics import part_weights as pw
+
+        hg = flat_hypergraph(netlist)
+        if args.algorithm == "multilevel":
+            from .baselines import multilevel_partition
+
+            r = multilevel_partition(hg, args.k, args.b, seed=args.seed)
+            cut, loads = r.cut_size, r.part_weights.tolist()
+            gate_assignment = r.assignment
+        else:
+            from .baselines import random_partition
+            from .hypergraph.metrics import hyperedge_cut
+
+            gate_assignment = random_partition(hg, args.k, seed=args.seed)
+            cut = hyperedge_cut(hg, gate_assignment)
+            loads = pw(hg, gate_assignment, args.k).tolist()
+        out.write(f"algorithm : {args.algorithm} (flat netlist)\n")
+    out.write(f"k={args.k} b={args.b}\n")
+    out.write(f"cut size  : {cut}\n")
+    out.write(f"loads     : {loads}\n")
+    if args.assignment_out is not None:
+        lines = [
+            f"{netlist.gates[g].name} {int(p)}"
+            for g, p in enumerate(gate_assignment)
+        ]
+        args.assignment_out.write_text("\n".join(lines) + "\n")
+        out.write(f"wrote      {args.assignment_out}\n")
+    return 0
+
+
+def _cmd_optimize(args, out) -> int:
+    from .verilog import optimize_netlist, write_netlist_verilog
+
+    netlist = _load(args)
+    optimized, stats = optimize_netlist(netlist)
+    out.write(stats.summary() + "\n")
+    if args.output is not None:
+        args.output.write_text(write_netlist_verilog(optimized))
+        out.write(f"wrote {args.output}\n")
+    return 0
+
+
+def _cmd_simulate(args, out) -> int:
+    from .circuits import random_vectors
+    from .sim import SequentialSimulator, compile_circuit
+    from .sim.logic import value_name
+
+    netlist = _load(args)
+    events = random_vectors(netlist, args.vectors, seed=args.seed)
+    sim = SequentialSimulator(compile_circuit(netlist))
+    sim.add_inputs(events)
+    stats = sim.run()
+    out.write(f"vectors      : {args.vectors}\n")
+    out.write(f"gate events  : {stats.gate_evals}\n")
+    out.write(f"net events   : {stats.net_events}\n")
+    out.write(f"end time     : {stats.end_time}\n")
+    values = "".join(value_name(v) for v in reversed(sim.output_values()))
+    out.write(f"final outputs: {values} (MSB first)\n")
+    return 0
+
+
+def _cmd_psim(args, out) -> int:
+    from .circuits import random_vectors
+    from .core import design_driven_partition
+    from .sim import ClusterSpec, TimeWarpConfig, compile_circuit, run_partitioned
+
+    netlist = _load(args)
+    events = random_vectors(netlist, args.vectors, seed=args.seed)
+    if args.partition is not None:
+        from .core import load_partition
+
+        part = load_partition(args.partition, netlist)
+        k = part.k
+        out.write(f"loaded partition {args.partition} (k={k}, b={part.b})\n")
+    else:
+        part = design_driven_partition(netlist, k=args.k, b=args.b, seed=args.seed)
+        k = args.k
+    clusters, machines = part.to_simulation()
+    report = run_partitioned(
+        compile_circuit(netlist), clusters, machines, events,
+        ClusterSpec(num_machines=k),
+        TimeWarpConfig(
+            lazy_cancellation=not args.aggressive,
+            conservative=args.conservative,
+        ),
+    )
+    out.write(f"k={k} b={part.b} cut={part.cut_size} "
+              f"balanced={part.balanced}\n")
+    out.write(f"sequential time : {report.sequential_wall_time:.6f} s (modeled)\n")
+    out.write(f"parallel time   : {report.parallel_wall_time:.6f} s (modeled)\n")
+    out.write(f"speedup         : {report.speedup:.2f}\n")
+    out.write(f"messages        : {report.messages} "
+              f"(+{report.anti_messages} anti)\n")
+    out.write(f"rollbacks       : {report.rollbacks} "
+              f"({report.rolled_back_events} events undone)\n")
+    out.write(f"verified        : {report.verified}\n")
+    return 0
+
+
+def _cmd_sweep(args, out) -> int:
+    from .bench import format_table, run_presim_grid
+
+    source = args.file.read_text()
+    ks = tuple(int(x) for x in args.ks.split(","))
+    bs = tuple(float(x) for x in args.bs.split(","))
+    cells = run_presim_grid(
+        source, ks=ks, bs=bs, n_vectors=args.vectors, seed=args.seed,
+        top=args.top, workers=args.workers,
+    )
+    out.write(format_table(
+        ["k", "b", "cut", "balanced", "time (s)", "speedup", "msgs",
+         "rollbacks"],
+        [[c.k, c.b, c.cut_size, c.balanced, f"{c.sim_time:.6f}",
+          f"{c.speedup:.2f}", c.messages, c.rollbacks] for c in cells],
+        title=f"(k, b) sweep: {args.file} ({args.vectors} vectors)",
+    ) + "\n")
+    best = max(cells, key=lambda c: c.speedup)
+    out.write(f"\nbest: k={best.k} b={best.b} speedup={best.speedup:.2f}\n")
+    return 0
+
+
+def _cmd_search(args, out) -> int:
+    from .circuits import random_vectors
+    from .core import brute_force_presim, heuristic_presim
+
+    netlist = _load(args)
+    events = random_vectors(netlist, args.vectors, seed=args.seed)
+    if args.heuristic:
+        study = heuristic_presim(netlist, events, max_k=args.max_k, seed=args.seed)
+    else:
+        study = brute_force_presim(
+            netlist, events, ks=tuple(range(2, args.max_k + 1)), seed=args.seed
+        )
+    for p in study.points:
+        out.write(f"k={p.k} b={p.b:<5} cut={p.cut_size:<6} "
+                  f"time={p.sim_time:.6f}s speedup={p.speedup:.2f}\n")
+    best = study.best
+    out.write(f"\nbest: k={best.k} b={best.b} "
+              f"(speedup {best.speedup:.2f}, {study.runs} runs)\n")
+    return 0
+
+
+_COMMANDS = {
+    "circuits": _cmd_circuits,
+    "generate": _cmd_generate,
+    "info": _cmd_info,
+    "partition": _cmd_partition,
+    "optimize": _cmd_optimize,
+    "simulate": _cmd_simulate,
+    "psim": _cmd_psim,
+    "sweep": _cmd_sweep,
+    "search": _cmd_search,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

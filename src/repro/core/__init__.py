@@ -1,0 +1,65 @@
+"""The paper's contribution: design-driven multiway partitioning.
+
+Public surface:
+
+* :func:`design_driven_partition` — the full Figure-2 algorithm
+  (cone initial partition → pairing + pairwise FM → super-gate
+  flattening under the Formula-1 balance constraint).
+* :class:`BalanceConstraint` — Formula 1, with the paper's (k, b) grid
+  as :data:`PAPER_K_VALUES` / :data:`PAPER_B_VALUES`.
+* :func:`cone_partition` — the concurrency-oriented initial partition.
+* :func:`refine_pair` — pairwise FM with best-prefix rollback.
+* :data:`PAIRING_STRATEGIES` — random / exhaustive / cut / gain.
+* :func:`brute_force_presim` / :func:`heuristic_presim` — the (k, b)
+  selection searches driven by short trial simulations.
+"""
+
+from .balance import BalanceConstraint, PAPER_B_VALUES, PAPER_K_VALUES
+from .cone import cone_partition, input_cones, build_cluster_dag
+from .fm import FMPassResult, refine_pair, rebalance_pair
+from .pairing import PAIRING_STRATEGIES, pairing_strategy, estimate_pair_gain
+from .multiway import MultiwayResult, design_driven_partition
+from .presim import (
+    PresimPoint,
+    PresimStudy,
+    evaluate_partition,
+    brute_force_presim,
+    heuristic_presim,
+)
+from .activity import profile_activity, activity_clustering
+from .recursive import recursive_design_driven_partition
+from .partition_io import (
+    save_partition,
+    load_partition,
+    dumps_partition,
+    loads_partition,
+)
+
+__all__ = [
+    "BalanceConstraint",
+    "PAPER_B_VALUES",
+    "PAPER_K_VALUES",
+    "cone_partition",
+    "input_cones",
+    "build_cluster_dag",
+    "FMPassResult",
+    "refine_pair",
+    "rebalance_pair",
+    "PAIRING_STRATEGIES",
+    "pairing_strategy",
+    "estimate_pair_gain",
+    "MultiwayResult",
+    "design_driven_partition",
+    "PresimPoint",
+    "PresimStudy",
+    "evaluate_partition",
+    "brute_force_presim",
+    "heuristic_presim",
+    "profile_activity",
+    "activity_clustering",
+    "recursive_design_driven_partition",
+    "save_partition",
+    "load_partition",
+    "dumps_partition",
+    "loads_partition",
+]

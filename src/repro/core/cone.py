@@ -1,0 +1,131 @@
+"""Cone partitioning — the initial-partition stage (paper §3.3).
+
+"A cone partitioning algorithm [Saucier et al.] is first employed to
+generate an initial partition.  Cone partitioning emphasizes the
+concurrency present in the design.  The algorithm starts at the primary
+inputs of the circuit and traverses the hypergraph."
+
+Concretely: every primary input defines a *cone* — the set of vertices
+reachable from it through driver→sink net direction.  Cones are
+complete input-to-output computation paths; placing whole cones on one
+processor maximizes the work a processor can do without waiting on its
+peers.  Cones are assigned greedily, heaviest unclaimed cone first,
+always to the currently lightest partition; a vertex shared by several
+cones goes wherever the first cone that reached it went (cones overlap
+heavily in real circuits).  Vertices unreachable from any input —
+constant generators, dangling logic — are packed last, lightest
+partition first.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..hypergraph.build import Clustering
+from ..hypergraph.partition_state import PartitionState
+
+__all__ = ["cone_partition", "build_cluster_dag", "input_cones"]
+
+
+def build_cluster_dag(clustering: Clustering) -> tuple[list[list[int]], list[int]]:
+    """Directed cluster graph and input-fed roots.
+
+    Returns ``(successors, roots)`` where ``successors[c]`` lists the
+    clusters reading any net driven inside cluster ``c`` (self-loops
+    dropped), and ``roots`` are clusters reading a primary-input net.
+    """
+    netlist = clustering.netlist
+    gate_cluster = [0] * netlist.num_gates
+    for ci, cluster in enumerate(clustering.clusters):
+        for gid in cluster.gate_ids:
+            gate_cluster[gid] = ci
+    succ: list[set[int]] = [set() for _ in clustering.clusters]
+    roots: set[int] = set()
+    for nid in range(netlist.num_nets):
+        driver = netlist.net_driver[nid]
+        sinks = netlist.net_sinks[nid]
+        if not sinks:
+            continue
+        if driver >= 0:
+            src = gate_cluster[driver]
+            for gid in sinks:
+                dst = gate_cluster[gid]
+                if dst != src:
+                    succ[src].add(dst)
+        elif nid in set(netlist.inputs):
+            for gid in sinks:
+                roots.add(gate_cluster[gid])
+    return [sorted(s) for s in succ], sorted(roots)
+
+
+def input_cones(clustering: Clustering) -> list[list[int]]:
+    """Reachable cluster set per root, heaviest cone first."""
+    succ, roots = build_cluster_dag(clustering)
+    weights = [c.weight for c in clustering.clusters]
+    cones: list[list[int]] = []
+    for root in roots:
+        seen = {root}
+        frontier = deque([root])
+        while frontier:
+            c = frontier.popleft()
+            for nxt in succ[c]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        cones.append(sorted(seen))
+    cones.sort(key=lambda cone: (-sum(weights[c] for c in cone), cone))
+    return cones
+
+
+def cone_partition(
+    clustering: Clustering,
+    k: int,
+    seed: int = 0,
+) -> PartitionState:
+    """Initial k-way partition by greedy cone assignment.
+
+    The seed only breaks ties among equal-weight cones (assignment is
+    otherwise deterministic), keeping repeated runs reproducible while
+    allowing restarts.
+    """
+    hg = clustering.hypergraph()
+    if k > hg.num_vertices:
+        raise PartitionError(
+            f"cannot make {k} partitions from {hg.num_vertices} vertices"
+        )
+    rng = np.random.default_rng(seed)
+    cones = input_cones(clustering)
+    if seed:
+        # perturb the visit order of equal-weight cones
+        weights = [c.weight for c in clustering.clusters]
+        keyed = [
+            (-sum(weights[c] for c in cone), rng.random(), cone) for cone in cones
+        ]
+        keyed.sort(key=lambda t: (t[0], t[1]))
+        cones = [t[2] for t in keyed]
+
+    assignment = np.full(hg.num_vertices, -1, dtype=np.int64)
+    load = np.zeros(k, dtype=np.int64)
+    ideal = hg.total_weight / k
+    for cone in cones:
+        unclaimed = [c for c in cone if assignment[c] < 0]
+        if not unclaimed:
+            continue
+        # whole cones go to one partition while it has room; a cone
+        # larger than the ideal load spills into the next-lightest
+        # partition rather than swamping one processor
+        target = int(np.argmin(load))
+        for c in unclaimed:
+            if load[target] >= ideal and k > 1:
+                target = int(np.argmin(load))
+            assignment[c] = target
+            load[target] += hg.vertex_weight[c]
+    for v in range(hg.num_vertices):
+        if assignment[v] < 0:
+            target = int(np.argmin(load))
+            assignment[v] = target
+            load[target] += hg.vertex_weight[v]
+    return PartitionState(hg, k, assignment)

@@ -1,0 +1,311 @@
+"""Design-driven multiway partitioning — the paper's algorithm (Figure 2).
+
+Pipeline::
+
+    setup k, b  →  cone initial partitioning  →  [ pairing → FM moves ]*
+                →  balance check  →  (flatten largest super-gate,
+                   redistribute load, repeat)  →  final partition
+
+The hypergraph starts at *visible-node* granularity (top-level gates +
+module-instance super-gates).  Whenever the load-balancing constraint
+(Formula 1) cannot be met because super-gates are too coarse, the
+largest super-gate inside an overweight partition is flattened one
+hierarchy level, the partition assignment is carried over to the new
+vertices, loads are redistributed, and pairing/FM resumes on the finer
+hypergraph.  The loop ends when the constraint holds and no pairing
+configuration yields further cut improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..hypergraph.build import Clustering
+from ..hypergraph.partition_state import PartitionState
+from ..verilog.netlist import Netlist
+from .balance import BalanceConstraint
+from .cone import cone_partition
+from .fm import rebalance_pair, refine_pair
+from .pairing import pairing_strategy
+
+__all__ = ["MultiwayResult", "design_driven_partition"]
+
+
+@dataclass
+class MultiwayResult:
+    """Final partition plus provenance.
+
+    ``clustering`` is the (possibly partially flattened) visible-node
+    set; ``assignment[i]`` is the partition of ``clustering.clusters[i]``.
+    ``balanced`` records whether Formula 1 was ultimately met —
+    partitions that exhausted every flattening opportunity without
+    meeting a very tight b are returned with ``balanced=False`` rather
+    than silently discarded.
+    """
+
+    clustering: Clustering
+    assignment: np.ndarray
+    k: int
+    b: float
+    cut_size: int
+    part_weights: np.ndarray
+    balanced: bool
+    flatten_steps: int
+    fm_rounds: int
+    history: list[str] = field(default_factory=list)
+
+    def gate_assignment(self) -> np.ndarray:
+        """Partition id per gate of the underlying netlist."""
+        out = np.zeros(self.clustering.netlist.num_gates, dtype=np.int64)
+        for ci, cluster in enumerate(self.clustering.clusters):
+            for gid in cluster.gate_ids:
+                out[gid] = self.assignment[ci]
+        return out
+
+    def to_simulation(self) -> tuple[list[list[int]], list[int]]:
+        """(gate clusters, machine per cluster) for the Time Warp engine."""
+        return self.clustering.gate_clusters(), [int(p) for p in self.assignment]
+
+
+def design_driven_partition(
+    netlist_or_clustering: Netlist | Clustering,
+    k: int,
+    b: float,
+    seed: int = 0,
+    pairing: str = "gain",
+    initial: str = "cone",
+    max_fm_passes: int = 8,
+    max_flatten_steps: int | None = None,
+    max_rounds: int = 64,
+    restarts: int = 1,
+) -> MultiwayResult:
+    """Run the design-driven multiway partitioning algorithm.
+
+    Parameters
+    ----------
+    netlist_or_clustering:
+        An elaborated netlist (partitioned at visible-node granularity)
+        or a pre-built :class:`Clustering`.
+    k, b:
+        Partition count and balance factor (Formula 1).
+    seed:
+        Controls cone-order and pairing randomness; fully deterministic
+        for a fixed value.
+    pairing:
+        Pairing strategy: ``"random"``, ``"exhaustive"``, ``"cut"`` or
+        ``"gain"`` (paper §3.1.1).
+    initial:
+        Initial-partition generator: ``"cone"`` (the paper's choice) or
+        ``"random"`` (ablation baseline).
+    max_flatten_steps:
+        Safety cap on flattening operations (default: number of
+        instances in the design — enough to flatten everything).
+    max_rounds:
+        Cap on pairing/FM improvement rounds per granularity level.
+    restarts:
+        Independent runs with consecutive seeds; the best result wins
+        (balance first, then cut).  Multi-start is the standard cheap
+        defense against the local minima iterative partitioners fall
+        into; the paper's single-run behaviour is ``restarts=1``.
+    """
+    if restarts > 1:
+        candidates = [
+            design_driven_partition(
+                netlist_or_clustering, k, b, seed=seed + i, pairing=pairing,
+                initial=initial, max_fm_passes=max_fm_passes,
+                max_flatten_steps=max_flatten_steps, max_rounds=max_rounds,
+                restarts=1,
+            )
+            for i in range(restarts)
+        ]
+        return min(candidates, key=lambda r: (not r.balanced, r.cut_size))
+    if isinstance(netlist_or_clustering, Clustering):
+        clustering = netlist_or_clustering
+    else:
+        clustering = Clustering.top_level(netlist_or_clustering)
+    constraint = BalanceConstraint(k, b)
+    strategy = pairing_strategy(pairing)
+    rng = np.random.default_rng(seed)
+    history: list[str] = []
+
+    if initial == "cone":
+        state = cone_partition(clustering, k, seed=seed)
+    elif initial == "random":
+        from ..baselines.random_partition import random_partition
+
+        state = PartitionState(
+            clustering.hypergraph(), k,
+            random_partition(clustering.hypergraph(), k, seed=seed),
+        )
+    else:
+        raise PartitionError(f"unknown initial partitioner {initial!r}")
+    history.append(
+        f"{initial} initial: cut={state.cut_size}, loads={state.part_weight.tolist()}"
+    )
+
+    if max_flatten_steps is None:
+        max_flatten_steps = sum(
+            1 for _ in clustering.netlist.hierarchy.walk()
+        ) + len(clustering)
+
+    fm_rounds = 0
+    flatten_steps = 0
+    while True:
+        fm_rounds += _improve_until_stable(
+            state, constraint, strategy, rng, max_fm_passes, max_rounds, history
+        )
+        if constraint.satisfied(state.part_weight):
+            break
+        # first try to repair the load at the current granularity —
+        # flattening is only warranted when the existing grains cannot
+        # be packed into the admissible band
+        _redistribute(state, constraint, history)
+        if constraint.satisfied(state.part_weight):
+            continue  # re-run FM on the repaired partition, then re-check
+        # constraint still violated: flatten the largest super-gate
+        # inside the most overweight partition (paper §3.2)
+        if flatten_steps >= max_flatten_steps:
+            history.append("flatten budget exhausted; returning unbalanced")
+            break
+        target = _flatten_candidate(clustering, state, constraint)
+        if target is None:
+            # nothing left to flatten: final greedy load repair
+            _final_rebalance(state, constraint, history)
+            break
+        clustering, state = _flatten_and_carry(clustering, state, target)
+        flatten_steps += 1
+        history.append(
+            f"flatten step {flatten_steps}: vertex {target} -> "
+            f"{len(clustering)} clusters; cut={state.cut_size}"
+        )
+        _redistribute(state, constraint, history)
+
+    return MultiwayResult(
+        clustering=clustering,
+        assignment=state.part.copy(),
+        k=k,
+        b=b,
+        cut_size=state.cut_size,
+        part_weights=state.part_weight.copy(),
+        balanced=constraint.satisfied(state.part_weight),
+        flatten_steps=flatten_steps,
+        fm_rounds=fm_rounds,
+        history=history,
+    )
+
+
+def _improve_until_stable(
+    state: PartitionState,
+    constraint: BalanceConstraint,
+    strategy,
+    rng: np.random.Generator,
+    max_fm_passes: int,
+    max_rounds: int,
+    history: list[str],
+) -> int:
+    """Pairing + FM rounds until no pair yields gain (Figure 2 loop)."""
+    rounds = 0
+    for _ in range(max_rounds):
+        pairs = strategy(state, rng)
+        round_gain = 0
+        for a, b in pairs:
+            result = refine_pair(state, a, b, constraint, max_passes=max_fm_passes)
+            round_gain += result.gain
+        rounds += 1
+        if round_gain <= 0:
+            break
+    history.append(
+        f"fm stable after {rounds} rounds: cut={state.cut_size}, "
+        f"loads={state.part_weight.tolist()}"
+    )
+    return rounds
+
+
+def _flatten_candidate(
+    clustering: Clustering,
+    state: PartitionState,
+    constraint: BalanceConstraint,
+) -> int | None:
+    """Pick the super-gate to flatten: the largest one inside the most
+    overweight partition; falls back to the globally largest one."""
+    lo, hi = constraint.bounds(state.hg.total_weight)
+    order = np.argsort(-state.part_weight)
+    for p in order:
+        if state.part_weight[p] <= hi:
+            break
+        members = [v for v in range(state.hg.num_vertices) if state.part_of(v) == int(p)]
+        cand = clustering.largest_super_gate(among=members)
+        if cand is not None:
+            return cand
+    # underweight-only violations: flatten the largest super-gate anywhere
+    # so finer grains can migrate into the starved partition
+    return clustering.largest_super_gate()
+
+
+def _flatten_and_carry(
+    clustering: Clustering,
+    state: PartitionState,
+    index: int,
+) -> tuple[Clustering, PartitionState]:
+    """Flatten one super-gate, carrying the assignment onto its pieces."""
+    owner = state.part_of(index)
+    before = len(clustering)
+    new_clustering = clustering.flatten(index)
+    grown = len(new_clustering) - before + 1  # replacement cluster count
+    assignment = np.concatenate(
+        [
+            state.part[:index],
+            np.full(grown, owner, dtype=np.int64),
+            state.part[index + 1 :],
+        ]
+    )
+    new_state = PartitionState(new_clustering.hypergraph(), state.k, assignment)
+    return new_clustering, new_state
+
+
+def _redistribute(
+    state: PartitionState,
+    constraint: BalanceConstraint,
+    history: list[str],
+) -> None:
+    """Repair over- and under-weight partitions by moving the current
+    granularity's grains from the heaviest toward the lightest."""
+    lo, hi = constraint.bounds(state.hg.total_weight)
+    for _ in range(2 * state.k):
+        heavy = int(np.argmax(state.part_weight))
+        light = int(np.argmin(state.part_weight))
+        if heavy == light:
+            break
+        if state.part_weight[heavy] <= hi and state.part_weight[light] >= lo:
+            break
+        moved = rebalance_pair(state, heavy, light, constraint)
+        if moved == 0:
+            break
+        history.append(
+            f"redistributed {moved} vertices {heavy}->{light}: "
+            f"loads={state.part_weight.tolist()}"
+        )
+
+
+def _final_rebalance(
+    state: PartitionState,
+    constraint: BalanceConstraint,
+    history: list[str],
+) -> None:
+    """Last-resort repair when no super-gate remains to flatten."""
+    lo, hi = constraint.bounds(state.hg.total_weight)
+    for _ in range(4 * state.k):
+        weights = state.part_weight
+        heavy = int(np.argmax(weights))
+        light = int(np.argmin(weights))
+        if (weights[heavy] <= hi and weights[light] >= lo) or heavy == light:
+            break
+        if rebalance_pair(state, heavy, light, constraint) == 0:
+            break
+    history.append(
+        f"final rebalance: loads={state.part_weight.tolist()}, "
+        f"cut={state.cut_size}"
+    )

@@ -1,0 +1,127 @@
+"""Partition-pairing strategies (paper §3.1.1).
+
+The pairwise multiway algorithm repeatedly picks two partitions and
+runs FM between them.  The paper lists four selection criteria:
+
+* **random** — simple and efficient, "but the pairing quality is not
+  good";
+* **exhaustive** — every combination; expensive but "able to climb out
+  of local minima";
+* **cut-based** — the pair with the maximum mutual cut;
+* **gain-based** — the pair with the maximum estimated cut reduction.
+
+A strategy yields an ordered list of pairs for one improvement round;
+the multiway driver keeps requesting rounds until no pair produces
+gain (the flowchart's "pairing configuration available?" test).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..hypergraph.partition_state import PartitionState
+
+__all__ = ["pairing_strategy", "PAIRING_STRATEGIES", "estimate_pair_gain"]
+
+
+def _random_pairs(state: PartitionState, rng: np.random.Generator) -> list[tuple[int, int]]:
+    """Disjoint random pairs (odd partition sits a round out)."""
+    parts = list(range(state.k))
+    rng.shuffle(parts)
+    return [
+        (min(parts[i], parts[i + 1]), max(parts[i], parts[i + 1]))
+        for i in range(0, len(parts) - 1, 2)
+    ]
+
+
+def _exhaustive_pairs(state: PartitionState, rng: np.random.Generator) -> list[tuple[int, int]]:
+    """Every unordered pair."""
+    return list(combinations(range(state.k), 2))
+
+
+def _cut_based_pairs(state: PartitionState, rng: np.random.Generator) -> list[tuple[int, int]]:
+    """Disjoint pairs by descending mutual cut weight."""
+    matrix = state.pair_cut_matrix()
+    pairs = sorted(
+        combinations(range(state.k), 2),
+        key=lambda ab: (-int(matrix[ab[0], ab[1]]), ab),
+    )
+    taken: set[int] = set()
+    out: list[tuple[int, int]] = []
+    for a, b in pairs:
+        if a in taken or b in taken:
+            continue
+        if matrix[a, b] == 0:
+            continue  # no shared edge: FM between them cannot gain
+        taken.add(a)
+        taken.add(b)
+        out.append((a, b))
+    return out
+
+
+def estimate_pair_gain(state: PartitionState, a: int, b: int, sample: int = 0) -> int:
+    """Cheap optimistic estimate of the cut reduction FM(a, b) can find.
+
+    Sums the positive single-move gains of boundary vertices — an
+    upper-bound-flavoured proxy (moves interact), adequate for ranking
+    pairs.  ``sample`` > 0 caps the number of boundary vertices
+    inspected for very large states.
+    """
+    hg = state.hg
+    boundary: set[int] = set()
+    mask = (state.edge_part_count[:, a] > 0) & (state.edge_part_count[:, b] > 0)
+    for e in np.nonzero(mask)[0]:
+        for v in hg.edge_vertices(int(e)):
+            if state.part[v] in (a, b):
+                boundary.add(int(v))
+    if sample and len(boundary) > sample:
+        boundary = set(sorted(boundary)[:sample])
+    total = 0
+    for v in boundary:
+        to = b if state.part_of(v) == a else a
+        g = state.move_gain(v, to)
+        if g > 0:
+            total += g
+    return total
+
+
+def _gain_based_pairs(state: PartitionState, rng: np.random.Generator) -> list[tuple[int, int]]:
+    """Disjoint pairs by descending estimated FM gain."""
+    scored = []
+    for a, b in combinations(range(state.k), 2):
+        if state.pair_cut(a, b) == 0:
+            continue
+        scored.append((estimate_pair_gain(state, a, b), a, b))
+    scored.sort(key=lambda t: (-t[0], t[1], t[2]))
+    taken: set[int] = set()
+    out: list[tuple[int, int]] = []
+    for gain, a, b in scored:
+        if a in taken or b in taken:
+            continue
+        taken.add(a)
+        taken.add(b)
+        out.append((a, b))
+    return out
+
+
+PAIRING_STRATEGIES: dict[str, Callable[[PartitionState, np.random.Generator], list[tuple[int, int]]]] = {
+    "random": _random_pairs,
+    "exhaustive": _exhaustive_pairs,
+    "cut": _cut_based_pairs,
+    "gain": _gain_based_pairs,
+}
+
+
+def pairing_strategy(name: str) -> Callable[[PartitionState, np.random.Generator], list[tuple[int, int]]]:
+    """Look up a pairing strategy by name (see :data:`PAIRING_STRATEGIES`)."""
+    try:
+        return PAIRING_STRATEGIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown pairing strategy {name!r}; choose from "
+            f"{sorted(PAIRING_STRATEGIES)}"
+        )

@@ -1,0 +1,146 @@
+"""Partition persistence: save a computed partition, reuse it later.
+
+Pre-simulation selects one partition that the (much longer) full run
+then uses — in practice those are separate invocations, possibly on
+separate days.  This module serializes a
+:class:`~repro.core.multiway.MultiwayResult` to a JSON document keyed
+by *gate names* (stable across re-elaboration of the same source,
+unlike dense ids) and re-binds it to a netlist on load, with integrity
+checks.
+
+Format (version 1)::
+
+    {
+      "format": "repro-partition",
+      "version": 1,
+      "k": 4, "b": 7.5,
+      "cut_size": 91, "balanced": true,
+      "top": "viterbi_top", "num_gates": 4322,
+      "clusters": [
+        {"name": "ch0_smu0", "partition": 2,
+         "gates": ["ch0_smu0.col0._g0", ...]},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..hypergraph.build import Cluster, Clustering
+from ..hypergraph.partition_state import PartitionState
+from ..verilog.netlist import Netlist
+from .multiway import MultiwayResult
+
+__all__ = ["save_partition", "load_partition", "dumps_partition", "loads_partition"]
+
+_FORMAT = "repro-partition"
+_VERSION = 1
+
+
+def dumps_partition(result: MultiwayResult) -> str:
+    """Serialize a partition to a JSON string."""
+    netlist = result.clustering.netlist
+    clusters = []
+    for cluster, part in zip(result.clustering.clusters, result.assignment):
+        clusters.append(
+            {
+                "name": cluster.name,
+                "partition": int(part),
+                "gates": [netlist.gates[g].name for g in cluster.gate_ids],
+            }
+        )
+    doc = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "k": result.k,
+        "b": result.b,
+        "cut_size": result.cut_size,
+        "balanced": result.balanced,
+        "top": netlist.top,
+        "num_gates": netlist.num_gates,
+        "clusters": clusters,
+    }
+    return json.dumps(doc, indent=1)
+
+
+def save_partition(result: MultiwayResult, path: str | Path) -> None:
+    """Write a partition JSON file."""
+    Path(path).write_text(dumps_partition(result))
+
+
+def loads_partition(text: str, netlist: Netlist) -> MultiwayResult:
+    """Re-bind a serialized partition to an elaborated netlist.
+
+    The netlist must contain exactly the gates the file names (same
+    source re-elaborated); mismatches raise :class:`PartitionError`
+    with the offending name.
+    """
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PartitionError(f"not a partition file: {exc}") from exc
+    if doc.get("format") != _FORMAT:
+        raise PartitionError("not a repro-partition document")
+    if doc.get("version") != _VERSION:
+        raise PartitionError(
+            f"unsupported partition format version {doc.get('version')!r}"
+        )
+    if doc.get("num_gates") != netlist.num_gates:
+        raise PartitionError(
+            f"partition was computed for {doc.get('num_gates')} gates; "
+            f"this netlist has {netlist.num_gates}"
+        )
+    by_name = {g.name: g.gid for g in netlist.gates}
+    clusters: list[Cluster] = []
+    assignment: list[int] = []
+    seen: set[int] = set()
+    k = int(doc["k"])
+    for entry in doc["clusters"]:
+        gids = []
+        for name in entry["gates"]:
+            gid = by_name.get(name)
+            if gid is None:
+                raise PartitionError(f"netlist has no gate named {name!r}")
+            if gid in seen:
+                raise PartitionError(f"gate {name!r} appears in two clusters")
+            seen.add(gid)
+            gids.append(gid)
+        part = int(entry["partition"])
+        if not (0 <= part < k):
+            raise PartitionError(
+                f"cluster {entry['name']!r} assigned to partition {part} "
+                f"outside [0, {k})"
+            )
+        clusters.append(
+            Cluster(entry["name"], tuple(sorted(gids)), len(gids))
+        )
+        assignment.append(part)
+    if len(seen) != netlist.num_gates:
+        raise PartitionError(
+            f"partition covers {len(seen)} of {netlist.num_gates} gates"
+        )
+    clustering = Clustering(netlist, clusters)
+    state = PartitionState(clustering.hypergraph(), k, assignment)
+    return MultiwayResult(
+        clustering=clustering,
+        assignment=np.asarray(assignment, dtype=np.int64),
+        k=k,
+        b=float(doc["b"]),
+        cut_size=state.cut_size,
+        part_weights=state.part_weight.copy(),
+        balanced=bool(doc.get("balanced", False)),
+        flatten_steps=0,
+        fm_rounds=0,
+        history=[f"loaded from partition file (saved cut {doc['cut_size']})"],
+    )
+
+
+def load_partition(path: str | Path, netlist: Netlist) -> MultiwayResult:
+    """Read a partition JSON file and bind it to ``netlist``."""
+    return loads_partition(Path(path).read_text(), netlist)

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers embedding the library can catch a single base class.  Subsystems
+raise the most specific subclass available; messages always carry enough
+context (names, line numbers, partition ids) to diagnose the failure
+without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class VerilogError(ReproError):
+    """Base class for errors in the Verilog front end."""
+
+
+class LexError(VerilogError):
+    """Raised when the lexer meets a character it cannot tokenize.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input.
+    """
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(VerilogError):
+    """Raised when the parser meets an unexpected token.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token.
+    """
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ElaborationError(VerilogError):
+    """Raised when a parsed design cannot be elaborated into a netlist.
+
+    Typical causes: references to undefined modules, port-width
+    mismatches, multiply-driven nets, or missing top-level modules.
+    """
+
+
+class NetlistError(ReproError):
+    """Raised for structural violations in a netlist (e.g. dangling pins)."""
+
+
+class HypergraphError(ReproError):
+    """Raised for invalid hypergraph construction or mutation."""
+
+
+class PartitionError(ReproError):
+    """Raised when a partitioning request cannot be satisfied.
+
+    For example: more partitions than vertices, or a balance constraint
+    that no assignment can meet even after full flattening.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised for invalid simulation configuration or internal invariant
+    violations in the sequential or Time Warp kernels."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid experiment / benchmark configuration values."""

@@ -1,0 +1,57 @@
+"""Hypergraph substrate: circuit-as-hypergraph modeling and partition state.
+
+Public surface:
+
+* :class:`Hypergraph`, :class:`HypergraphBuilder` — the immutable
+  weighted hypergraph and its incremental constructor.
+* :class:`PartitionState` — mutable k-way assignment with incremental
+  cut tracking (all partitioners operate through it).
+* :func:`hyperedge_cut`, :func:`connectivity_cut`, :func:`part_weights`,
+  :func:`load_imbalance`, :func:`within_balance` — oracle metrics.
+* :func:`read_hgr` / :func:`write_hgr` — hMetis file interchange.
+* :func:`flat_hypergraph` / :func:`hierarchy_hypergraph` — builders from
+  elaborated Verilog netlists (see :mod:`repro.hypergraph.build`).
+"""
+
+from .hypergraph import Hypergraph, HypergraphBuilder
+from .partition_state import PartitionState
+from .metrics import (
+    hyperedge_cut,
+    connectivity_cut,
+    part_weights,
+    load_imbalance,
+    within_balance,
+)
+from .io import read_hgr, write_hgr, loads_hgr, dumps_hgr
+from .build import Cluster, Clustering, flat_hypergraph, hierarchy_hypergraph
+from .analysis import (
+    CircuitStats,
+    StuckXReport,
+    analyze_netlist,
+    locality_fraction,
+    stuck_x_report,
+)
+
+__all__ = [
+    "Cluster",
+    "Clustering",
+    "flat_hypergraph",
+    "hierarchy_hypergraph",
+    "CircuitStats",
+    "StuckXReport",
+    "analyze_netlist",
+    "locality_fraction",
+    "stuck_x_report",
+    "Hypergraph",
+    "HypergraphBuilder",
+    "PartitionState",
+    "hyperedge_cut",
+    "connectivity_cut",
+    "part_weights",
+    "load_imbalance",
+    "within_balance",
+    "read_hgr",
+    "write_hgr",
+    "loads_hgr",
+    "dumps_hgr",
+]

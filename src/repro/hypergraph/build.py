@@ -1,0 +1,250 @@
+"""Circuit → hypergraph translation and the super-gate clustering model.
+
+The paper's hypergraph (§3) has two kinds of vertices: ordinary gates
+and *super-gates* — Verilog module instances treated as one vertex
+weighted by their internal gate count.  A :class:`Clustering` captures
+exactly that: an ordered list of clusters, each either a single gate or
+a whole instance subtree, together with the mapping back to gate ids
+(which the Time Warp engine consumes as its LP list).
+
+Flattening (§3.2) is a Clustering→Clustering operation: one super-gate
+cluster is replaced by its next hierarchy level (its direct gates as
+singletons plus its child instances as smaller super-gates), and the
+hypergraph is rebuilt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..verilog.netlist import HierNode, Netlist
+from .hypergraph import Hypergraph
+
+__all__ = ["Cluster", "Clustering", "flat_hypergraph", "hierarchy_hypergraph"]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One hypergraph vertex: a gate or a super-gate.
+
+    ``node`` is the backing instance-tree node for super-gates (used by
+    flattening); plain gates have ``node=None``.  ``weight`` is the
+    gate count (the paper's load unit).
+    """
+
+    name: str
+    gate_ids: tuple[int, ...]
+    weight: int
+    node: HierNode | None = None
+
+    @property
+    def is_super_gate(self) -> bool:
+        """Whether this cluster can still be flattened."""
+        return self.node is not None and bool(self.node.children or len(self.gate_ids) > 1)
+
+
+class Clustering:
+    """An ordered set of clusters covering every gate exactly once.
+
+    ``gate_weights`` optionally replaces the paper's gate-count load
+    metric with per-gate weights — the activity-based metric the paper
+    names as future work ("our load metric is the number of gates,
+    which is not entirely adequate").  Pass a per-gate array (e.g.
+    ``1 + activity`` from a profiling run of
+    :class:`~repro.sim.sequential.SequentialSimulator`); cluster and
+    hypergraph vertex weights then measure expected simulation load
+    instead of area.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        clusters: list[Cluster],
+        gate_weights: "np.ndarray | None" = None,
+    ) -> None:
+        self.netlist = netlist
+        self.clusters = clusters
+        self.gate_weights = gate_weights
+        self._hypergraph: Hypergraph | None = None
+        covered = sum(len(c.gate_ids) for c in clusters)
+        if covered != netlist.num_gates:
+            raise PartitionError(
+                f"clustering covers {covered} of {netlist.num_gates} gates"
+            )
+        self._check_weights(netlist, gate_weights)
+
+    @staticmethod
+    def _check_weights(netlist: Netlist, gate_weights: np.ndarray | None) -> None:
+        if gate_weights is None:
+            return
+        if len(gate_weights) != netlist.num_gates:
+            raise PartitionError(
+                f"gate_weights has {len(gate_weights)} entries for "
+                f"{netlist.num_gates} gates"
+            )
+        if len(gate_weights) and int(np.min(gate_weights)) < 1:
+            raise PartitionError("gate_weights must be >= 1")
+
+    def _cluster_weight(self, gate_ids: tuple[int, ...]) -> int:
+        if self.gate_weights is None:
+            return len(gate_ids)
+        return int(sum(int(self.gate_weights[g]) for g in gate_ids))
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def top_level(
+        cls, netlist: Netlist, gate_weights: "np.ndarray | None" = None
+    ) -> "Clustering":
+        """The design-driven view: the netlist's *visible nodes*.
+
+        Top-level gates become singleton clusters; each first-level
+        module instance becomes one super-gate cluster (paper §3, §4.3).
+        """
+        cls._check_weights(netlist, gate_weights)
+        clusters: list[Cluster] = []
+        weigh = (
+            (lambda gids: len(gids))
+            if gate_weights is None
+            else (lambda gids: int(sum(int(gate_weights[g]) for g in gids)))
+        )
+        root = netlist.hierarchy
+        for gid in root.gate_ids:
+            gate = netlist.gates[gid]
+            clusters.append(Cluster(gate.name, (gid,), weigh((gid,))))
+        for child in root.children.values():
+            gates = tuple(sorted(child.subtree_gates()))
+            if not gates:
+                continue  # empty wrapper module: nothing to simulate
+            clusters.append(Cluster(child.name, gates, weigh(gates), node=child))
+        return cls(netlist, clusters, gate_weights)
+
+    @classmethod
+    def flat(
+        cls, netlist: Netlist, gate_weights: "np.ndarray | None" = None
+    ) -> "Clustering":
+        """The flattened-netlist view: every gate its own vertex.
+
+        This is the input the paper gave hMetis.
+        """
+        cls._check_weights(netlist, gate_weights)
+        weigh = (
+            (lambda gid: 1)
+            if gate_weights is None
+            else (lambda gid: int(gate_weights[gid]))
+        )
+        clusters = [
+            Cluster(g.name, (g.gid,), weigh(g.gid)) for g in netlist.gates
+        ]
+        return cls(netlist, clusters, gate_weights)
+
+    # -- flattening ----------------------------------------------------------
+
+    def flatten(self, index: int) -> "Clustering":
+        """Replace super-gate ``index`` by its next hierarchy level.
+
+        Its direct gates become singleton clusters and each child
+        instance becomes a (smaller) super-gate; other clusters keep
+        their order.  Raises :class:`PartitionError` for plain gates.
+        """
+        target = self.clusters[index]
+        if target.node is None:
+            raise PartitionError(
+                f"cluster {target.name!r} is a plain gate, cannot flatten"
+            )
+        replacement: list[Cluster] = []
+        node = target.node
+        for gid in node.gate_ids:
+            gate = self.netlist.gates[gid]
+            replacement.append(Cluster(gate.name, (gid,), self._cluster_weight((gid,))))
+        for child in node.children.values():
+            gates = tuple(sorted(child.subtree_gates()))
+            if not gates:
+                continue
+            replacement.append(
+                Cluster(
+                    f"{target.name}.{child.name}",
+                    gates,
+                    self._cluster_weight(gates),
+                    node=child,
+                )
+            )
+        new_clusters = (
+            self.clusters[:index] + replacement + self.clusters[index + 1 :]
+        )
+        return Clustering(self.netlist, new_clusters, self.gate_weights)
+
+    def largest_super_gate(self, among: list[int] | None = None) -> int | None:
+        """Index of the heaviest flattenable cluster (optionally within
+        a vertex subset), or None if everything is a plain gate."""
+        best: tuple[int, int] | None = None
+        indices = range(len(self.clusters)) if among is None else among
+        for i in indices:
+            c = self.clusters[i]
+            if c.is_super_gate:
+                cand = (c.weight, -i)
+                if best is None or cand > (best[0], -best[1]):
+                    best = (c.weight, i)
+        return None if best is None else best[1]
+
+    # -- hypergraph ------------------------------------------------------------
+
+    def hypergraph(self) -> Hypergraph:
+        """Hypergraph over the clusters: one hyperedge per net spanning
+        two or more clusters (cached)."""
+        if self._hypergraph is None:
+            self._hypergraph = self._build_hypergraph()
+        return self._hypergraph
+
+    def _build_hypergraph(self) -> Hypergraph:
+        netlist = self.netlist
+        gate_cluster = [0] * netlist.num_gates
+        for ci, cluster in enumerate(self.clusters):
+            for gid in cluster.gate_ids:
+                gate_cluster[gid] = ci
+        edges: list[list[int]] = []
+        edge_names: list[str] = []
+        for nid in range(netlist.num_nets):
+            touched: set[int] = set()
+            driver = netlist.net_driver[nid]
+            if driver >= 0:
+                touched.add(gate_cluster[driver])
+            for gid in netlist.net_sinks[nid]:
+                touched.add(gate_cluster[gid])
+            if len(touched) > 1:
+                edges.append(sorted(touched))
+                edge_names.append(netlist.net_name(nid))
+        weights = [c.weight for c in self.clusters]
+        names = [c.name for c in self.clusters]
+        return Hypergraph.from_edges(
+            weights, edges, vertex_names=names, edge_names=edge_names
+        )
+
+    # -- bridges to the simulator ----------------------------------------------
+
+    def gate_clusters(self) -> list[list[int]]:
+        """Gate-id lists per cluster (the Time Warp engine's LP list)."""
+        return [list(c.gate_ids) for c in self.clusters]
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        supers = sum(1 for c in self.clusters if c.is_super_gate)
+        return (
+            f"Clustering({len(self.clusters)} clusters, {supers} super-gates, "
+            f"{self.netlist.num_gates} gates)"
+        )
+
+
+def flat_hypergraph(netlist: Netlist) -> Hypergraph:
+    """Gate-level hypergraph of the flattened netlist (hMetis's input)."""
+    return Clustering.flat(netlist).hypergraph()
+
+
+def hierarchy_hypergraph(netlist: Netlist) -> Hypergraph:
+    """Visible-node hypergraph of the design hierarchy (the paper's)."""
+    return Clustering.top_level(netlist).hypergraph()

@@ -1,0 +1,302 @@
+"""Weighted hypergraph model of a gate-level circuit.
+
+A circuit maps onto a hypergraph as follows (paper §3): every *vertex*
+is either an ordinary gate or a *super-gate* (a Verilog module instance,
+treated as a single vertex weighted by the number of gates it
+contains), and every *hyperedge* is a net — the set of vertices whose
+pins the net touches.
+
+The structure is immutable once frozen: partitioning algorithms mutate a
+:class:`~repro.hypergraph.partition_state.PartitionState` layered on top
+of it, never the hypergraph itself.  This keeps the expensive adjacency
+arrays shareable between the many partitioning runs a (k, b) sweep
+performs.
+
+Vertices and hyperedges are dense integer ids (``0..n-1``), with
+optional string names kept in side arrays for diagnostics.  Pin lists
+are stored in CSR-style flattened arrays so that iteration over a
+vertex's edges or an edge's vertices is an O(degree) slice, not a hash
+walk — the FM inner loop touches these arrays millions of times on
+realistic circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import HypergraphError
+
+__all__ = ["Hypergraph", "HypergraphBuilder"]
+
+
+class Hypergraph:
+    """An immutable weighted hypergraph.
+
+    Use :class:`HypergraphBuilder` (or :meth:`from_edges`) to construct
+    one.  All arrays are NumPy ``int64``; the object is hashable by
+    identity and safe to share across partitioning runs.
+
+    Attributes
+    ----------
+    vertex_weight:
+        ``(num_vertices,)`` array of positive vertex weights (gate
+        counts; a plain gate has weight 1, a super-gate the number of
+        gates inside it).
+    edge_weight:
+        ``(num_edges,)`` array of positive hyperedge weights (all 1 for
+        plain nets; coarsened hypergraphs carry accumulated weights).
+    """
+
+    __slots__ = (
+        "vertex_weight",
+        "edge_weight",
+        "_edge_ptr",
+        "_edge_pins",
+        "_vertex_ptr",
+        "_vertex_pins",
+        "vertex_names",
+        "edge_names",
+    )
+
+    def __init__(
+        self,
+        vertex_weight: np.ndarray,
+        edge_weight: np.ndarray,
+        edge_ptr: np.ndarray,
+        edge_pins: np.ndarray,
+        vertex_names: Sequence[str] | None = None,
+        edge_names: Sequence[str] | None = None,
+    ) -> None:
+        self.vertex_weight = vertex_weight
+        self.edge_weight = edge_weight
+        self._edge_ptr = edge_ptr
+        self._edge_pins = edge_pins
+        self.vertex_names = list(vertex_names) if vertex_names is not None else None
+        self.edge_names = list(edge_names) if edge_names is not None else None
+        self._validate()
+        self._build_vertex_index()
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        vertex_weights: Sequence[int],
+        edges: Iterable[Sequence[int]],
+        edge_weights: Sequence[int] | None = None,
+        vertex_names: Sequence[str] | None = None,
+        edge_names: Sequence[str] | None = None,
+    ) -> "Hypergraph":
+        """Build a hypergraph from explicit pin lists.
+
+        Parameters
+        ----------
+        vertex_weights:
+            One positive integer per vertex.
+        edges:
+            Iterable of pin lists; each pin list is a sequence of vertex
+            ids.  Duplicate pins within one edge are collapsed.
+        edge_weights:
+            Optional per-edge weights (default all 1).
+        """
+        edge_lists = [sorted(set(int(v) for v in e)) for e in edges]
+        ptr = np.zeros(len(edge_lists) + 1, dtype=np.int64)
+        for i, e in enumerate(edge_lists):
+            ptr[i + 1] = ptr[i] + len(e)
+        pins = np.empty(int(ptr[-1]), dtype=np.int64)
+        for i, e in enumerate(edge_lists):
+            pins[ptr[i] : ptr[i + 1]] = e
+        vw = np.asarray(vertex_weights, dtype=np.int64)
+        if edge_weights is None:
+            ew = np.ones(len(edge_lists), dtype=np.int64)
+        else:
+            ew = np.asarray(edge_weights, dtype=np.int64)
+        return cls(vw, ew, ptr, pins, vertex_names, edge_names)
+
+    def _build_vertex_index(self) -> None:
+        """Construct the transposed (vertex → edges) CSR arrays.
+
+        Vectorized: a stable argsort of the pin array groups each
+        vertex's incidences; the matching edge ids come from repeating
+        edge ids by edge size.  O(pins log pins), no Python-level loop.
+        """
+        n = len(self.vertex_weight)
+        counts = np.zeros(n + 1, dtype=np.int64)
+        if len(self._edge_pins):
+            np.add.at(counts, self._edge_pins + 1, 1)
+        self._vertex_ptr = np.cumsum(counts)
+        if len(self._edge_pins) == 0:
+            self._vertex_pins = np.empty(0, dtype=np.int64)
+            return
+        sizes = np.diff(self._edge_ptr)
+        edge_of_pin = np.repeat(
+            np.arange(self.num_edges, dtype=np.int64), sizes
+        )
+        order = np.argsort(self._edge_pins, kind="stable")
+        self._vertex_pins = edge_of_pin[order]
+
+    def _validate(self) -> None:
+        n = self.num_vertices
+        if (self.vertex_weight <= 0).any():
+            bad = int(np.argmax(self.vertex_weight <= 0))
+            raise HypergraphError(f"vertex {bad} has non-positive weight")
+        if (self.edge_weight <= 0).any():
+            bad = int(np.argmax(self.edge_weight <= 0))
+            raise HypergraphError(f"edge {bad} has non-positive weight")
+        if len(self._edge_pins) and (
+            self._edge_pins.min() < 0 or self._edge_pins.max() >= n
+        ):
+            raise HypergraphError("edge pin refers to a vertex id out of range")
+        if len(self.edge_weight) + 1 != len(self._edge_ptr):
+            raise HypergraphError("edge pointer array length mismatch")
+        if self.vertex_names is not None and len(self.vertex_names) != n:
+            raise HypergraphError("vertex_names length mismatch")
+        if self.edge_names is not None and len(self.edge_names) != self.num_edges:
+            raise HypergraphError("edge_names length mismatch")
+
+    # -- basic queries ---------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self.vertex_weight)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of hyperedges."""
+        return len(self.edge_weight)
+
+    @property
+    def num_pins(self) -> int:
+        """Total number of (vertex, edge) incidences."""
+        return len(self._edge_pins)
+
+    @property
+    def total_weight(self) -> int:
+        """Sum of all vertex weights (total gate count of the circuit)."""
+        return int(self.vertex_weight.sum())
+
+    def edge_vertices(self, e: int) -> np.ndarray:
+        """Vertices on hyperedge ``e`` (read-only view, sorted)."""
+        return self._edge_pins[self._edge_ptr[e] : self._edge_ptr[e + 1]]
+
+    def vertex_edges(self, v: int) -> np.ndarray:
+        """Hyperedges incident to vertex ``v`` (read-only view)."""
+        return self._vertex_pins[self._vertex_ptr[v] : self._vertex_ptr[v + 1]]
+
+    def edge_size(self, e: int) -> int:
+        """Number of pins on hyperedge ``e``."""
+        return int(self._edge_ptr[e + 1] - self._edge_ptr[e])
+
+    def vertex_degree(self, v: int) -> int:
+        """Number of hyperedges incident to vertex ``v``."""
+        return int(self._vertex_ptr[v + 1] - self._vertex_ptr[v])
+
+    def vertex_name(self, v: int) -> str:
+        """Human-readable name of vertex ``v`` (falls back to ``v<id>``)."""
+        if self.vertex_names is not None:
+            return self.vertex_names[v]
+        return f"v{v}"
+
+    def edge_name(self, e: int) -> str:
+        """Human-readable name of hyperedge ``e`` (falls back to ``e<id>``)."""
+        if self.edge_names is not None:
+            return self.edge_names[e]
+        return f"e{e}"
+
+    def iter_edges(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(edge_id, pin_array)`` for every hyperedge."""
+        for e in range(self.num_edges):
+            yield e, self.edge_vertices(e)
+
+    def neighbors(self, v: int) -> set[int]:
+        """All vertices sharing at least one hyperedge with ``v``."""
+        out: set[int] = set()
+        for e in self.vertex_edges(v):
+            out.update(int(u) for u in self.edge_vertices(e))
+        out.discard(v)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Hypergraph(vertices={self.num_vertices}, edges={self.num_edges}, "
+            f"pins={self.num_pins}, weight={self.total_weight})"
+        )
+
+
+class HypergraphBuilder:
+    """Incremental builder that assigns dense ids from string names.
+
+    The Verilog → hypergraph translators accumulate vertices and nets by
+    name; the builder deduplicates names and emits a frozen
+    :class:`Hypergraph` with stable name side-tables.
+    """
+
+    def __init__(self) -> None:
+        self._vertex_ids: dict[str, int] = {}
+        self._weights: list[int] = []
+        self._edges: list[tuple[str, list[int]]] = []
+
+    def add_vertex(self, name: str, weight: int = 1) -> int:
+        """Register a vertex; re-adding an existing name raises."""
+        if name in self._vertex_ids:
+            raise HypergraphError(f"duplicate vertex name {name!r}")
+        vid = len(self._weights)
+        self._vertex_ids[name] = vid
+        self._weights.append(int(weight))
+        return vid
+
+    def vertex_id(self, name: str) -> int:
+        """Dense id previously assigned to ``name``."""
+        return self._vertex_ids[name]
+
+    def has_vertex(self, name: str) -> bool:
+        """Whether ``name`` is already registered."""
+        return name in self._vertex_ids
+
+    def add_edge(self, name: str, pins: Iterable[int | str]) -> int:
+        """Register a hyperedge over vertex ids or names.
+
+        Edges with fewer than two distinct pins are still recorded (they
+        are legal, merely never cut); callers that want to drop them can
+        filter before freezing.
+        """
+        resolved: list[int] = []
+        for p in pins:
+            if isinstance(p, str):
+                resolved.append(self._vertex_ids[p])
+            else:
+                resolved.append(int(p))
+        self._edges.append((name, resolved))
+        return len(self._edges) - 1
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._weights)
+
+    def freeze(self, drop_single_pin_edges: bool = True) -> Hypergraph:
+        """Produce the immutable hypergraph.
+
+        Parameters
+        ----------
+        drop_single_pin_edges:
+            Nets touching fewer than two distinct vertices can never be
+            cut; dropping them (the default) shrinks the edge set that
+            every partitioning pass scans.
+        """
+        names = [""] * len(self._weights)
+        for name, vid in self._vertex_ids.items():
+            names[vid] = name
+        kept_edges: list[list[int]] = []
+        kept_names: list[str] = []
+        for ename, pins in self._edges:
+            distinct = sorted(set(pins))
+            if drop_single_pin_edges and len(distinct) < 2:
+                continue
+            kept_edges.append(distinct)
+            kept_names.append(ename)
+        return Hypergraph.from_edges(
+            self._weights, kept_edges, vertex_names=names, edge_names=kept_names
+        )

@@ -1,0 +1,200 @@
+"""Mutable k-way partition assignment layered over a :class:`Hypergraph`.
+
+The state tracks, incrementally under single-vertex moves:
+
+* ``part[v]`` — the partition of each vertex,
+* ``part_weight[p]`` — the total vertex weight per partition,
+* ``edge_part_count[e, p]`` — how many pins of hyperedge ``e`` lie in
+  partition ``p``,
+* the weighted **hyperedge cut** (number of hyperedges spanning more
+  than one partition, weighted by edge weight — the paper's Table 1/2
+  metric), and
+* the **connectivity metric** ``sum_e w_e * (lambda_e - 1)`` (SOED-1,
+  a secondary diagnostic).
+
+All partitioning algorithms in :mod:`repro.core` and
+:mod:`repro.baselines` mutate the circuit's partition exclusively
+through :meth:`PartitionState.move`, so the incremental bookkeeping is
+the single source of truth; :meth:`recompute` re-derives everything from
+scratch and is used by the test suite to cross-check the increments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import PartitionError
+from .hypergraph import Hypergraph
+
+__all__ = ["PartitionState"]
+
+
+class PartitionState:
+    """k-way partition of a hypergraph with incremental cut tracking."""
+
+    def __init__(self, hg: Hypergraph, k: int, assignment: Sequence[int] | None = None):
+        if k < 1:
+            raise PartitionError(f"k must be >= 1, got {k}")
+        self.hg = hg
+        self.k = k
+        if assignment is None:
+            self.part = np.zeros(hg.num_vertices, dtype=np.int64)
+        else:
+            self.part = np.asarray(assignment, dtype=np.int64).copy()
+            if len(self.part) != hg.num_vertices:
+                raise PartitionError(
+                    f"assignment length {len(self.part)} != "
+                    f"{hg.num_vertices} vertices"
+                )
+            if len(self.part) and (self.part.min() < 0 or self.part.max() >= k):
+                raise PartitionError("assignment refers to a partition id out of range")
+        self.recompute()
+
+    # -- full recomputation ------------------------------------------------
+
+    def recompute(self) -> None:
+        """Rebuild all derived quantities from ``self.part``.
+
+        O(pins); used after bulk reassignment and by tests to validate
+        the incremental path.
+        """
+        hg = self.hg
+        self.part_weight = np.zeros(self.k, dtype=np.int64)
+        np.add.at(self.part_weight, self.part, hg.vertex_weight)
+        self.edge_part_count = np.zeros((hg.num_edges, self.k), dtype=np.int64)
+        for e in range(hg.num_edges):
+            for v in hg.edge_vertices(e):
+                self.edge_part_count[e, self.part[v]] += 1
+        spanned = (self.edge_part_count > 0).sum(axis=1)
+        cut_mask = spanned > 1
+        self._cut = int(hg.edge_weight[cut_mask].sum())
+        self._soed = int((hg.edge_weight * np.maximum(spanned - 1, 0)).sum())
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def cut_size(self) -> int:
+        """Weighted hyperedge cut (edges spanning >1 partition)."""
+        return self._cut
+
+    @property
+    def connectivity(self) -> int:
+        """``sum_e w_e * (lambda_e - 1)`` where lambda is #parts spanned."""
+        return self._soed
+
+    def parts(self) -> list[list[int]]:
+        """Vertex ids grouped by partition."""
+        out: list[list[int]] = [[] for _ in range(self.k)]
+        for v, p in enumerate(self.part):
+            out[int(p)].append(v)
+        return out
+
+    def part_of(self, v: int) -> int:
+        """Partition currently holding vertex ``v``."""
+        return int(self.part[v])
+
+    def copy(self) -> "PartitionState":
+        """Independent deep copy (shares the immutable hypergraph)."""
+        return PartitionState(self.hg, self.k, self.part)
+
+    def pair_cut(self, a: int, b: int) -> int:
+        """Weighted cut counted only between partitions ``a`` and ``b``.
+
+        Used by the cut-based pairing strategy (paper §3.1.1): the pair
+        with the maximum mutual cut is refined next.
+        """
+        mask = (self.edge_part_count[:, a] > 0) & (self.edge_part_count[:, b] > 0)
+        return int(self.hg.edge_weight[mask].sum())
+
+    def pair_cut_matrix(self) -> np.ndarray:
+        """Symmetric ``(k, k)`` matrix of pairwise cut weights."""
+        occupied = self.edge_part_count > 0
+        w = self.hg.edge_weight.astype(np.int64)
+        m = (occupied.T * w) @ occupied
+        np.fill_diagonal(m, 0)
+        # entry (a, b) = sum of weights of edges touching both a and b
+        return m
+
+    def move_gain(self, v: int, to_part: int) -> int:
+        """Change in cut size if ``v`` moved to ``to_part`` (gain > 0 is
+        an improvement, i.e. the cut would *decrease* by ``gain``)."""
+        frm = int(self.part[v])
+        if frm == to_part:
+            return 0
+        gain = 0
+        hg = self.hg
+        for e in hg.vertex_edges(v):
+            counts = self.edge_part_count[e]
+            w = int(hg.edge_weight[e])
+            spanned = int((counts > 0).sum())
+            # after the move: v leaves frm, joins to_part
+            leaves_empty = counts[frm] == 1
+            enters_new = counts[to_part] == 0
+            new_spanned = spanned - (1 if leaves_empty else 0) + (1 if enters_new else 0)
+            was_cut = spanned > 1
+            now_cut = new_spanned > 1
+            if was_cut and not now_cut:
+                gain += w
+            elif now_cut and not was_cut:
+                gain -= w
+        return gain
+
+    # -- mutation -------------------------------------------------------------
+
+    def move(self, v: int, to_part: int) -> int:
+        """Move vertex ``v`` to ``to_part``; returns the realized gain.
+
+        Updates part weights, per-edge partition counts, cut size and
+        connectivity incrementally in O(degree(v) * k).
+        """
+        frm = int(self.part[v])
+        if to_part == frm:
+            return 0
+        if not (0 <= to_part < self.k):
+            raise PartitionError(f"target partition {to_part} out of range [0,{self.k})")
+        hg = self.hg
+        gain = 0
+        soed_delta = 0
+        for e in hg.vertex_edges(v):
+            counts = self.edge_part_count[e]
+            w = int(hg.edge_weight[e])
+            spanned = int((counts > 0).sum())
+            counts[frm] -= 1
+            counts[to_part] += 1
+            new_spanned = spanned
+            if counts[frm] == 0:
+                new_spanned -= 1
+            if counts[to_part] == 1:
+                new_spanned += 1
+            if spanned > 1 and new_spanned == 1:
+                gain += w
+            elif spanned == 1 and new_spanned > 1:
+                gain -= w
+            soed_delta += w * (new_spanned - spanned)
+        wv = int(hg.vertex_weight[v])
+        self.part_weight[frm] -= wv
+        self.part_weight[to_part] += wv
+        self.part[v] = to_part
+        self._cut -= gain
+        self._soed += soed_delta
+        return gain
+
+    def bulk_assign(self, vertices: Iterable[int], to_part: int) -> None:
+        """Assign many vertices then recompute (cheaper than per-move
+        bookkeeping when most of the circuit is being re-seeded)."""
+        for v in vertices:
+            self.part[v] = to_part
+        self.recompute()
+
+    # -- balance ------------------------------------------------------------
+
+    def max_imbalance(self) -> float:
+        """Largest relative deviation of any partition from the ideal
+        ``total/k`` load, as a fraction of total weight."""
+        total = self.hg.total_weight
+        if total == 0:
+            return 0.0
+        ideal = total / self.k
+        return float(np.abs(self.part_weight - ideal).max() / total)

@@ -1,0 +1,95 @@
+"""Cost-model calibration against the host machine.
+
+The virtual cluster's wall times are modeled; to relate them to real
+seconds for a *specific* simulator build and host, measure the host's
+actual per-event cost and scale the :class:`ClusterSpec`.  The paper's
+pre-simulation workflow maps directly: run a short calibration, derive
+``event_cost``, and the modeled sequential times then predict real
+sequential runtimes of this Python simulator (network parameters stay
+modeled — there is no real cluster here).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from ..errors import ConfigError
+from .cluster import ClusterSpec
+from .compiled import CompiledCircuit
+from .events import InputEvent
+from .sequential import SequentialSimulator
+
+__all__ = ["CalibrationResult", "measure_event_cost", "calibrated_spec"]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Measured host performance for the sequential simulator."""
+
+    events: int
+    elapsed: float
+    event_cost: float  # seconds per gate event on this host
+
+    def events_per_second(self) -> float:
+        return 1.0 / self.event_cost if self.event_cost > 0 else 0.0
+
+
+def measure_event_cost(
+    circuit: CompiledCircuit,
+    events: Sequence[InputEvent],
+    repeats: int = 3,
+) -> CalibrationResult:
+    """Time the sequential simulator on a stimulus; keep the best run.
+
+    Best-of-N damps interpreter warm-up and scheduler noise (the same
+    discipline as timeit).
+    """
+    if repeats < 1:
+        raise ConfigError("repeats must be >= 1")
+    best = float("inf")
+    total_events = 0
+    for _ in range(repeats):
+        sim = SequentialSimulator(circuit)
+        sim.add_inputs(events)
+        start = time.perf_counter()
+        stats = sim.run()
+        elapsed = time.perf_counter() - start
+        total_events = stats.gate_evals
+        if elapsed < best:
+            best = elapsed
+    if total_events == 0:
+        raise ConfigError("calibration stimulus produced no gate events")
+    return CalibrationResult(
+        events=total_events,
+        elapsed=best,
+        event_cost=best / total_events,
+    )
+
+
+def calibrated_spec(
+    base: ClusterSpec,
+    calibration: CalibrationResult,
+    keep_ratios: bool = True,
+) -> ClusterSpec:
+    """A spec whose ``event_cost`` matches the measured host.
+
+    With ``keep_ratios`` (default) every network/rollback parameter is
+    scaled by the same factor, preserving the communication-to-compute
+    ratio the reproduction's shape depends on; otherwise only
+    ``event_cost`` changes.
+    """
+    if base.event_cost <= 0:
+        raise ConfigError("base spec has no event cost to scale")
+    factor = calibration.event_cost / base.event_cost
+    if not keep_ratios:
+        return replace(base, event_cost=calibration.event_cost)
+    return replace(
+        base,
+        event_cost=calibration.event_cost,
+        msg_latency=base.msg_latency * factor,
+        msg_cpu_overhead=base.msg_cpu_overhead * factor,
+        rollback_overhead=base.rollback_overhead * factor,
+        undo_cost=base.undo_cost * factor,
+    )

@@ -1,0 +1,240 @@
+"""Virtual cluster model: machines, network, and cost accounting.
+
+The paper ran on four AMD Athlon machines connected by gigabit
+Ethernet under MPICH.  Offline reproduction replaces that testbed with
+a *deterministic virtual cluster*: each machine owns a wall-clock
+accumulator, every processed event batch advances it by a modeled
+compute cost, and every inter-machine message is charged a network
+latency before it becomes visible at the receiver.  Speedup is then
+``modeled sequential wall time / max machine wall time`` — the same
+quantity the paper measures, computed over the same mechanism
+(optimistic simulation with rollbacks), minus real-hardware noise.
+
+Calibration: the default costs approximate the paper's testbed ratio —
+a compiled gate event costs about a microsecond of 2001-era CPU, while
+a small MPI message over gigabit Ethernet costs tens of microseconds of
+sender CPU plus ~100 µs end-to-end latency.  What matters for
+reproducing the paper's *shape* is the ratio ``msg_cpu_overhead /
+event_cost`` (here 20:1): large enough that cut traffic dominates
+beyond a few machines (the paper's speedups saturate near 1.9 on 4
+nodes), small enough that a well-partitioned k=4 run still wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["ClusterSpec", "TimeWarpConfig", "MachineStats", "RunStats"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Hardware model of the virtual cluster.
+
+    All times are in modeled seconds.
+
+    Attributes
+    ----------
+    num_machines:
+        Number of compute nodes (the paper's k).
+    event_cost:
+        Wall time to evaluate one gate event.
+    msg_latency:
+        End-to-end latency of an inter-machine message (send overhead +
+        wire + receive overhead).
+    msg_cpu_overhead:
+        Sender CPU time consumed per message (charged to the sending
+        machine's wall clock; the latency itself overlaps computation).
+    rollback_overhead:
+        Fixed CPU cost of initiating one rollback (state restore).
+    undo_cost:
+        CPU cost per rolled-back event (re-execution is charged at
+        ``event_cost`` when the events are re-processed).
+    """
+
+    num_machines: int
+    event_cost: float = 2.0e-6
+    msg_latency: float = 120.0e-6
+    msg_cpu_overhead: float = 40.0e-6
+    rollback_overhead: float = 60.0e-6
+    undo_cost: float = 1.0e-6
+
+    def __post_init__(self) -> None:
+        if self.num_machines < 1:
+            raise ConfigError(f"num_machines must be >= 1, got {self.num_machines}")
+        for name in ("event_cost", "msg_latency", "msg_cpu_overhead",
+                     "rollback_overhead", "undo_cost"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class TimeWarpConfig:
+    """Kernel tuning knobs.
+
+    Attributes
+    ----------
+    checkpoint_interval:
+        State is saved every this many processed timestamp batches per
+        LP (periodic state saving; 1 = save every batch).
+    gvt_interval:
+        Driver steps between GVT computations / fossil collections.
+    lazy_cancellation:
+        If True (default), on re-execution after a rollback an output
+        message identical to one previously sent is *not* re-sent and
+        its anti-message is suppressed (lazy cancellation); if False,
+        aggressive cancellation is used as in classic Time Warp.
+        Aggressive cancellation on a deterministic cluster can sustain
+        rollback-echo orbits (identical cancel/re-send cycles); the
+        optimism window plus the engine's GVT-stall throttle keep it
+        terminating, but lazy is both faster and closer to how DVS
+        behaved on real, jittery hardware.
+    optimism_window:
+        Maximum virtual-time distance (ticks) an LP may run ahead of
+        the last computed GVT; ``None`` disables throttling (pure Time
+        Warp).  Bounds wasted optimistic work when the whole vector
+        stream is pre-loaded.
+    stall_threshold:
+        Consecutive GVT rounds without progress before the engine
+        clamps the window to 1 tick (near-conservative execution)
+        until GVT advances again — the termination safeguard.
+    adaptive_checkpointing:
+        Per-LP checkpoint-interval tuning (classic Time Warp
+        optimization): at every GVT round, an LP that rolled back since
+        the previous round halves its interval (cheaper rollbacks),
+        otherwise it doubles it up to ``max_checkpoint_interval``
+        (cheaper forward progress).  ``checkpoint_interval`` is the
+        starting value.
+    max_checkpoint_interval:
+        Upper bound for adaptive checkpointing.
+    migration:
+        Dynamic LP migration — the paper's future-work item ("make it
+        responsive to changes in processor loads").  At every GVT
+        round, if the busiest machine's recent busy time exceeds the
+        least busy machine's by more than ``migration_threshold``
+        (relative), the hottest LP of the busiest machine moves to the
+        least busy one, paying ``migration_cost`` of wall time on both.
+    migration_threshold:
+        Relative busy-time imbalance that triggers a migration.
+    migration_cost:
+        Modeled seconds charged to source and destination per migration
+        (state transfer + rebinding).
+    migration_cooldown:
+        GVT rounds to wait after a migration before considering the
+        next one — damping against load/locality thrash (load-driven
+        migration ignores communication affinity, so chasing every
+        imbalance sample destroys the static partition's locality).
+    conservative:
+        Run the engine as an *idealized conservative* simulator: an LP
+        may only execute a batch at the exact global safe time (the
+        minimum over every unprocessed event and in-flight message),
+        so no rollback can ever occur.  Global knowledge stands in for
+        null-message/barrier protocols, making this an upper bound on
+        any real conservative implementation — the benchmark Time Warp
+        has to beat to justify optimism.  Implies no state saving is
+        needed; checkpointing is forced to the maximum interval.
+    record_changes:
+        Record the committed (time, net, value) history in every LP —
+        the deep verification oracle
+        (:meth:`~repro.sim.timewarp.TimeWarpEngine.verify_change_stream`).
+        Memory grows with the run; testing/debugging only.
+    """
+
+    checkpoint_interval: int = 8
+    gvt_interval: int = 256
+    lazy_cancellation: bool = True
+    optimism_window: int | None = 128
+    stall_threshold: int = 8
+    adaptive_checkpointing: bool = False
+    max_checkpoint_interval: int = 64
+    migration: bool = False
+    migration_threshold: float = 0.25
+    migration_cost: float = 500.0e-6
+    migration_cooldown: int = 4
+    conservative: bool = False
+    record_changes: bool = False
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 1:
+            raise ConfigError("checkpoint_interval must be >= 1")
+        if self.gvt_interval < 1:
+            raise ConfigError("gvt_interval must be >= 1")
+        if self.optimism_window is not None and self.optimism_window < 1:
+            raise ConfigError("optimism_window must be >= 1 or None")
+        if self.stall_threshold < 1:
+            raise ConfigError("stall_threshold must be >= 1")
+        if self.max_checkpoint_interval < self.checkpoint_interval:
+            raise ConfigError(
+                "max_checkpoint_interval must be >= checkpoint_interval"
+            )
+        if not (0.0 < self.migration_threshold):
+            raise ConfigError("migration_threshold must be positive")
+        if self.migration_cost < 0:
+            raise ConfigError("migration_cost must be non-negative")
+        if self.migration_cooldown < 0:
+            raise ConfigError("migration_cooldown must be non-negative")
+
+
+@dataclass
+class MachineStats:
+    """Per-machine counters accumulated during a run."""
+
+    wall_time: float = 0.0
+    busy_time: float = 0.0
+    batches: int = 0
+    gate_evals: int = 0
+    msgs_sent: int = 0
+    rollbacks: int = 0
+
+
+@dataclass
+class RunStats:
+    """Aggregate statistics of one Time Warp run.
+
+    ``speedup`` and ``sequential_wall_time`` are filled in by the
+    engine when a sequential baseline is supplied or computed.
+    """
+
+    num_machines: int = 0
+    wall_time: float = 0.0
+    sequential_wall_time: float = 0.0
+    speedup: float = 0.0
+    messages: int = 0
+    anti_messages: int = 0
+    env_messages: int = 0
+    rollbacks: int = 0
+    rolled_back_events: int = 0
+    processed_events: int = 0
+    committed_events: int = 0
+    gvt_rounds: int = 0
+    migrations: int = 0
+    peak_checkpoint_bytes: int = 0
+    machines: list[MachineStats] = field(default_factory=list)
+
+    def efficiency(self) -> float:
+        """Parallel efficiency: speedup / machines."""
+        if self.num_machines == 0:
+            return 0.0
+        return self.speedup / self.num_machines
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"k={self.num_machines} wall={self.wall_time:.4f}s "
+            f"seq={self.sequential_wall_time:.4f}s speedup={self.speedup:.2f} "
+            f"msgs={self.messages} rollbacks={self.rollbacks} "
+            f"(undone {self.rolled_back_events} ev)"
+        )
+
+    def idle_fraction(self) -> float:
+        """Mean fraction of wall time machines spent idle."""
+        if not self.machines or self.wall_time <= 0:
+            return 0.0
+        fracs = [
+            1.0 - m.busy_time / self.wall_time for m in self.machines
+        ]
+        return float(np.mean(fracs))

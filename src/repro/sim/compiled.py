@@ -1,0 +1,119 @@
+"""Compiled circuit: the netlist lowered to flat arrays for simulation.
+
+Both the sequential reference simulator and the Time Warp logical
+processes evaluate gates through this structure, so their results are
+comparable by construction.  Compilation resolves gate types to dense
+codes, freezes pin lists as tuples, and precomputes per-net sink lists.
+
+Sequential cells keep their input pin roles: ``dff`` = (d, clk),
+``dffr`` = (d, clk, rst), ``dffe`` = (d, clk, en).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..verilog.netlist import CONST0, CONST1, Netlist
+from .logic import GATE_CODES, SEQ_CODE_MIN, VX, eval_gate_coded
+
+__all__ = ["CompiledCircuit", "compile_circuit"]
+
+
+class CompiledCircuit:
+    """Array-form circuit shared by all simulators.
+
+    Attributes
+    ----------
+    gate_code:
+        ``(num_gates,)`` int8 array of :data:`~repro.sim.logic.GATE_CODES`.
+    gate_inputs:
+        Tuple of input-net tuples per gate.
+    gate_output:
+        ``(num_gates,)`` output net id per gate.
+    net_sinks:
+        Tuple of sink-gate tuples per net.
+    initial_values:
+        ``(num_nets,)`` int8 initial value array: constants at their
+        value, everything else X.
+    """
+
+    __slots__ = (
+        "netlist",
+        "gate_code",
+        "gate_inputs",
+        "gate_output",
+        "net_sinks",
+        "initial_values",
+        "num_gates",
+        "num_nets",
+        "inputs",
+        "outputs",
+    )
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self.num_gates = netlist.num_gates
+        self.num_nets = netlist.num_nets
+        codes = np.zeros(self.num_gates, dtype=np.int8)
+        for g in netlist.gates:
+            code = GATE_CODES.get(g.gtype)
+            if code is None:
+                raise SimulationError(f"gate {g.name!r} has unknown type {g.gtype!r}")
+            codes[g.gid] = code
+        self.gate_code = codes
+        self.gate_inputs = tuple(g.inputs for g in netlist.gates)
+        self.gate_output = np.array(
+            [g.output for g in netlist.gates], dtype=np.int64
+        ) if self.num_gates else np.zeros(0, dtype=np.int64)
+        self.net_sinks = tuple(tuple(s) for s in netlist.net_sinks)
+        init = np.full(self.num_nets, VX, dtype=np.int8)
+        init[CONST0] = 0
+        init[CONST1] = 1
+        self.initial_values = init
+        self.inputs = tuple(netlist.inputs)
+        self.outputs = tuple(netlist.outputs)
+
+    def is_sequential_gate(self, gid: int) -> bool:
+        """True if gate ``gid`` is a state-holding cell."""
+        return int(self.gate_code[gid]) >= SEQ_CODE_MIN
+
+    def eval_combinational(self, gid: int, values: np.ndarray) -> int:
+        """Evaluate combinational gate ``gid`` against a value array."""
+        pins = self.gate_inputs[gid]
+        return eval_gate_coded(int(self.gate_code[gid]), [int(values[p]) for p in pins])
+
+
+def compile_circuit(netlist: Netlist) -> CompiledCircuit:
+    """Lower an elaborated netlist for simulation."""
+    return CompiledCircuit(netlist)
+
+
+def combinational_depth(circuit: CompiledCircuit) -> int:
+    """Longest combinational path in gate levels.
+
+    Sources are primary inputs, constants and flip-flop outputs; paths
+    stop at flip-flop inputs.  With the unit-delay model this is the
+    settle time a clock period must exceed for registered values to be
+    meaningful.  Combinational cycles (rare, e.g. latch-like structures)
+    are broken by capping relaxation, and the cap is returned.
+    """
+    num_gates = circuit.num_gates
+    depth = [0] * circuit.num_nets
+    order_changed = True
+    rounds = 0
+    max_rounds = num_gates + 2
+    while order_changed and rounds < max_rounds:
+        order_changed = False
+        rounds += 1
+        for gid in range(num_gates):
+            if circuit.is_sequential_gate(gid):
+                continue
+            d = 1 + max(
+                (depth[p] for p in circuit.gate_inputs[gid]), default=0
+            )
+            out = int(circuit.gate_output[gid])
+            if d > depth[out]:
+                depth[out] = d
+                order_changed = True
+    return max(depth, default=0)

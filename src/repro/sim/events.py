@@ -1,0 +1,62 @@
+"""Event types shared by the simulators.
+
+An *input event* drives a primary-input net to a value at a virtual
+time; simulators consume streams of them.  The Time Warp kernel extends
+this with signed messages (positive events and their anti-message
+twins) carrying send/receive metadata for rollback bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InputEvent", "Message"]
+
+
+@dataclass(frozen=True, order=True)
+class InputEvent:
+    """A primary-input stimulus: drive ``net`` to ``value`` at ``time``."""
+
+    time: int
+    net: int
+    value: int
+
+
+@dataclass(frozen=True)
+class Message:
+    """A Time Warp message: a net-change event sent between LPs.
+
+    ``sign`` is +1 for a positive message, -1 for its anti-message;
+    the pair is identical in every other field, which is how
+    annihilation matches them (classic Jefferson Time Warp).
+
+    ``uid`` is a sender-assigned serial making each positive/anti pair
+    unique even when the same (net, value, time) is re-sent after a
+    rollback and re-execution.
+    """
+
+    recv_time: int
+    net: int
+    value: int
+    src_lp: int
+    dst_lp: int
+    send_time: int
+    uid: int
+    sign: int = 1
+
+    def anti(self) -> "Message":
+        """The annihilating twin of a positive message."""
+        return Message(
+            self.recv_time,
+            self.net,
+            self.value,
+            self.src_lp,
+            self.dst_lp,
+            self.send_time,
+            self.uid,
+            sign=-self.sign,
+        )
+
+    def key(self) -> tuple[int, int, int, int]:
+        """Identity key used for annihilation matching."""
+        return (self.uid, self.src_lp, self.dst_lp, self.recv_time)

@@ -1,0 +1,239 @@
+"""Sequential event-driven gate-level simulator.
+
+This is the reference implementation of the paper's simulation model:
+**unit gate delay, zero wire delay**, three-valued signals.  It serves
+three roles:
+
+1. correctness oracle for the Time Warp kernel (committed results must
+   match it exactly);
+2. the sequential-time baseline (``T_seq``) against which parallel
+   speedups are measured (paper §4.2/§4.3); and
+3. the activity profiler whose per-gate event counts ground the cost
+   model of the virtual cluster.
+
+Semantics:
+
+* Combinational gates re-evaluate one unit after any input change; a
+  scheduled output that equals the net's value at apply time is
+  swallowed (inertial glitch suppression at identical values).
+* Flip-flops sample their ``d`` (and ``rst``/``en``) pins with the
+  values the nets held *just before* the clock edge, which is the
+  standard zero-hold-time idealization.  An edge whose before/after
+  values involve X produces an X output (conservative unknown edge).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..errors import SimulationError
+from .compiled import CompiledCircuit
+from .events import InputEvent
+from .logic import GATE_CODES, VX, eval_gate_coded
+
+__all__ = ["SequentialSimulator", "SeqStats", "simulate_sequential"]
+
+_DFF = GATE_CODES["dff"]
+_DFFR = GATE_CODES["dffr"]
+_DFFE = GATE_CODES["dffe"]
+
+
+@dataclass
+class SeqStats:
+    """Counters from a sequential run.
+
+    ``gate_evals`` counts gate evaluations (the unit of computational
+    load in the paper's model — "the number of gates ... equally
+    active"); ``net_events`` counts committed net value changes;
+    ``end_time`` is the virtual time at which activity ceased.
+    """
+
+    gate_evals: int = 0
+    net_events: int = 0
+    end_time: int = 0
+    activity: np.ndarray | None = None
+
+
+class SequentialSimulator:
+    """Unit-delay event-driven simulator over a compiled circuit.
+
+    Parameters
+    ----------
+    circuit:
+        Output of :func:`repro.sim.compile_circuit`.
+    record_activity:
+        Keep a per-gate evaluation count (used for pre-simulation load
+        profiling and as the partitioners' optional activity weights).
+    """
+
+    def __init__(
+        self,
+        circuit: CompiledCircuit,
+        record_activity: bool = False,
+        record_changes: bool = False,
+    ):
+        self.circuit = circuit
+        self.values = circuit.initial_values.copy()
+        self._agenda: dict[int, dict[int, int]] = {}
+        self._heap: list[int] = []
+        self.now = -1
+        self.stats = SeqStats(
+            activity=np.zeros(circuit.num_gates, dtype=np.int64)
+            if record_activity
+            else None
+        )
+        #: callbacks invoked with the current time after every processed
+        #: time step (used by waveform writers and probes)
+        self.observers: list = []
+        #: optional (time, net, value) history of every committed net
+        #: change — the deep oracle the Time Warp tests compare against
+        self.record_changes = record_changes
+        self.change_log: list[tuple[int, int, int]] = []
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, time: int, net: int, value: int) -> None:
+        """Schedule net ``net`` to take ``value`` at ``time``."""
+        if time <= self.now:
+            raise SimulationError(
+                f"cannot schedule at time {time}; current time is {self.now}"
+            )
+        slot = self._agenda.get(time)
+        if slot is None:
+            slot = {}
+            self._agenda[time] = slot
+            heapq.heappush(self._heap, time)
+        slot[net] = value
+
+    def add_inputs(self, events: Iterable[InputEvent]) -> None:
+        """Queue a batch of primary-input stimuli."""
+        for ev in events:
+            self.schedule(ev.time, ev.net, ev.value)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, until: int | None = None) -> SeqStats:
+        """Process events until quiescence (or ``until``, exclusive).
+
+        Returns the accumulated statistics object (also available as
+        ``self.stats``); may be called repeatedly with interleaved
+        :meth:`add_inputs`.
+        """
+        values = self.values
+        circuit = self.circuit
+        stats = self.stats
+        activity = stats.activity
+        while self._heap:
+            t = self._heap[0]
+            if until is not None and t >= until:
+                break
+            heapq.heappop(self._heap)
+            changes = self._agenda.pop(t)
+            self.now = t
+            old: dict[int, int] = {}
+            affected: dict[int, None] = {}  # ordered de-dup of gate ids
+            for net, value in changes.items():
+                cur = int(values[net])
+                if cur == value:
+                    continue
+                old[net] = cur
+                values[net] = value
+                stats.net_events += 1
+                for gid in circuit.net_sinks[net]:
+                    affected[gid] = None
+            if not old:
+                continue
+            if self.record_changes:
+                for net in old:
+                    self.change_log.append((t, net, int(values[net])))
+            stats.end_time = t
+            for gid in affected:
+                stats.gate_evals += 1
+                if activity is not None:
+                    activity[gid] += 1
+                code = int(circuit.gate_code[gid])
+                pins = circuit.gate_inputs[gid]
+                out_net = int(circuit.gate_output[gid])
+                if code < _DFF:
+                    new = eval_gate_coded(code, [int(values[p]) for p in pins])
+                    self.schedule(t + 1, out_net, new)
+                else:
+                    q = _dff_next(
+                        code, pins, values, old, int(values[out_net])
+                    )
+                    if q is not None:
+                        self.schedule(t + 1, out_net, q)
+            for observer in self.observers:
+                observer(t)
+        return stats
+
+    # -- convenience ---------------------------------------------------------
+
+    def value_of(self, net: int) -> int:
+        """Current value of a net."""
+        return int(self.values[net])
+
+    def output_values(self) -> list[int]:
+        """Current values of the primary outputs, port order."""
+        return [int(self.values[n]) for n in self.circuit.outputs]
+
+
+def _dff_next(
+    code: int,
+    pins: tuple[int, ...],
+    values: np.ndarray,
+    old: Mapping[int, int],
+    current_q: int,
+) -> int | None:
+    """Next-state of a flip-flop given the changes applied at this
+    instant; None means no output event.
+
+    ``old`` carries pre-update values for nets that changed now; pins
+    other than the clock are sampled from it (setup-time semantics).
+    """
+
+    def before(net: int) -> int:
+        return old.get(net, int(values[net]))
+
+    clk = pins[1]
+    if clk not in old:
+        return None  # data moved but no clock activity: FF holds
+    clk_before, clk_after = old[clk], int(values[clk])
+    if clk_after == 0 or clk_before == 1:
+        return None  # falling or non-edge
+    known_edge = clk_before == 0 and clk_after == 1
+    if code == _DFFR:
+        rst = before(pins[2])
+        if known_edge and rst == 1:
+            return 0
+        if rst == VX or not known_edge:
+            return VX
+        return before(pins[0])
+    if code == _DFFE:
+        en = before(pins[2])
+        if en == 0:
+            return None  # enable off: holds regardless of the edge
+        if not known_edge or en == VX:
+            return VX
+        return before(pins[0])
+    # plain dff
+    if not known_edge:
+        return VX
+    return before(pins[0])
+
+
+def simulate_sequential(
+    circuit: CompiledCircuit,
+    input_events: Iterable[InputEvent],
+    record_activity: bool = False,
+    until: int | None = None,
+) -> tuple[SequentialSimulator, SeqStats]:
+    """One-shot sequential run over an input stimulus stream."""
+    sim = SequentialSimulator(circuit, record_activity=record_activity)
+    sim.add_inputs(input_events)
+    stats = sim.run(until=until)
+    return sim, stats

@@ -1,0 +1,677 @@
+"""Time Warp engine on a deterministic virtual cluster.
+
+The engine plays the role of DVS's distributed simulation engine plus
+the OOCTW kernel plus MPICH (paper Figure 4), but executes the whole
+parallel run *deterministically in one process*: machine wall clocks
+are modeled floats advanced by the :class:`~repro.sim.cluster.ClusterSpec`
+cost model, and inter-machine messages become visible at the receiver
+``msg_latency`` after they were sent.  Optimism, stragglers, rollbacks,
+anti-messages, GVT and fossil collection all happen exactly as they
+would on real hardware; only the clock is modeled.
+
+Driver loop: repeatedly pick the machine whose next action (processing
+a ready event batch, or waking up for a message arrival) happens
+earliest in modeled wall time, deliver its due messages (possibly
+triggering rollbacks), then let it execute the lowest-virtual-time LP
+it hosts — the standard Time Warp scheduling discipline.
+
+Determinism: ties are broken by machine id, LP id, and message serials;
+two runs with the same inputs produce identical statistics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+from ..errors import SimulationError
+from .cluster import ClusterSpec, MachineStats, RunStats, TimeWarpConfig
+from .compiled import CompiledCircuit
+from .events import InputEvent, Message
+from .lp import ClusterLP
+from .sequential import SequentialSimulator
+
+__all__ = ["TimeWarpEngine"]
+
+
+class _Machine:
+    __slots__ = ("mid", "wall", "lp_ids", "ready", "arrivals", "stats")
+
+    def __init__(self, mid: int) -> None:
+        self.mid = mid
+        self.wall = 0.0
+        self.lp_ids: list[int] = []
+        #: lazy heap of (next_vt, lid); stale entries validated on pop
+        self.ready: list[tuple[int, int]] = []
+        #: heap of (arrival_wall, serial, Message)
+        self.arrivals: list[tuple[float, int, Message]] = []
+        self.stats = MachineStats()
+
+
+class TimeWarpEngine:
+    """Distributed Verilog simulation of one partitioned circuit.
+
+    Parameters
+    ----------
+    circuit:
+        Compiled circuit (shared with the sequential baseline).
+    clusters:
+        Gate-id list per LP — the partition's *visible nodes*: each
+        inner sequence becomes one cluster LP (paper §4.3).  Every gate
+        must appear in exactly one cluster.
+    lp_machine:
+        Machine index per LP (the partition assignment).
+    spec:
+        Virtual cluster hardware model.
+    config:
+        Kernel tuning (checkpoint/GVT intervals, cancellation policy).
+    """
+
+    def __init__(
+        self,
+        circuit: CompiledCircuit,
+        clusters: Sequence[Sequence[int]],
+        lp_machine: Sequence[int],
+        spec: ClusterSpec,
+        config: TimeWarpConfig = TimeWarpConfig(),
+    ) -> None:
+        if len(clusters) != len(lp_machine):
+            raise SimulationError(
+                f"{len(clusters)} clusters but {len(lp_machine)} machine assignments"
+            )
+        self.circuit = circuit
+        self.spec = spec
+        self.config = config
+        self.lp_machine = [int(m) for m in lp_machine]
+        for m in self.lp_machine:
+            if not (0 <= m < spec.num_machines):
+                raise SimulationError(f"machine id {m} out of range")
+
+        seen: set[int] = set()
+        for cl in clusters:
+            for gid in cl:
+                if gid in seen:
+                    raise SimulationError(f"gate {gid} appears in two clusters")
+                seen.add(gid)
+        if len(seen) != circuit.num_gates:
+            raise SimulationError(
+                f"clusters cover {len(seen)} of {circuit.num_gates} gates"
+            )
+
+        self.lps = [
+            ClusterLP(
+                lid,
+                circuit,
+                gate_ids,
+                checkpoint_interval=config.checkpoint_interval,
+                lazy=config.lazy_cancellation,
+                record_changes=config.record_changes,
+            )
+            for lid, gate_ids in enumerate(clusters)
+        ]
+        self._wire_destinations()
+        self.machines = [_Machine(m) for m in range(spec.num_machines)]
+        for lid, m in enumerate(self.lp_machine):
+            self.machines[m].lp_ids.append(lid)
+        self.stats = RunStats(num_machines=spec.num_machines)
+        self._arrival_serial = 0
+        self._gate_lp = self._gate_to_lp(clusters)
+        self._gvt_estimate = -1
+        self._stalled_rounds = 0
+        self._emergency_throttle = False
+        # per-LP activity since the last GVT round (adaptive
+        # checkpointing and migration use these)
+        self._lp_recent_evals = [0] * len(self.lps)
+        self._lp_recent_rollbacks = [0] * len(self.lps)
+        self._machine_busy_prev = [0.0] * spec.num_machines
+        self._migration_cooldown = 0
+        # conservative mode: exact global safe-time tracking
+        self._conservative = config.conservative
+        #: lazy min-heap of (next_vt, lid) across every LP
+        self._global_ready: list[tuple[int, int]] = []
+        #: lazy min-heap of in-flight message receive times
+        self._inflight_recv: list[int] = []
+        self._inflight_removed: dict[int, int] = {}
+        if self._conservative:
+            for lp in self.lps:
+                # rollback-free execution needs no state saving
+                lp.checkpoint_interval = 1 << 30
+
+    def _gate_to_lp(self, clusters: Sequence[Sequence[int]]) -> dict[int, int]:
+        out: dict[int, int] = {}
+        for lid, cl in enumerate(clusters):
+            for gid in cl:
+                out[gid] = lid
+        return out
+
+    def _wire_destinations(self) -> None:
+        """Compute, per LP, the external reader LPs of each driven net."""
+        circuit = self.circuit
+        lp_of_gate: dict[int, int] = {}
+        for lp in self.lps:
+            for gid in lp.gate_ids:
+                lp_of_gate[gid] = lp.lid
+        for lp in self.lps:
+            for gid in lp.gate_ids:
+                out_net = int(circuit.gate_output[gid])
+                dests = sorted(
+                    {
+                        lp_of_gate[s]
+                        for s in circuit.net_sinks[out_net]
+                        if lp_of_gate[s] != lp.lid
+                    }
+                )
+                if dests:
+                    lp.out_dests[out_net] = tuple(dests)
+
+    # -- stimulus -------------------------------------------------------------
+
+    def load_inputs(self, events: Iterable[InputEvent]) -> None:
+        """Pre-load the vector stream into the reader LPs' queues.
+
+        The vector source (DVS's testbench side) is modeled as an
+        environment LP (id -1) whose messages are available from wall
+        time zero — it never causes rollbacks because its events are
+        strictly in the future when loaded.
+        """
+        circuit = self.circuit
+        readers: dict[int, list[int]] = {}
+        uid = 0
+        for ev in events:
+            dsts = readers.get(ev.net)
+            if dsts is None:
+                dsts = sorted(
+                    {self._gate_lp[s] for s in circuit.net_sinks[ev.net]}
+                )
+                readers[ev.net] = dsts
+            for dst in dsts:
+                msg = Message(
+                    recv_time=ev.time,
+                    net=ev.net,
+                    value=ev.value,
+                    src_lp=-1,
+                    dst_lp=dst,
+                    send_time=ev.time - 1,
+                    uid=uid,
+                )
+                uid += 1
+                res = self.lps[dst].insert_positive(msg)
+                if res is not None:  # pragma: no cover - inputs precede run
+                    raise SimulationError("environment stimulus caused a rollback")
+                self.stats.env_messages += 1
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> RunStats:
+        """Execute to completion; returns aggregate statistics."""
+        stats = self.stats
+        for m in self.machines:
+            self._refresh_ready(m)
+        self._gvt_round()
+        steps = 0
+        while True:
+            target = self._pick_machine()
+            if target is None:
+                # Not necessarily done: (a) every LP may be blocked on a
+                # stale GVT estimate (the refresh unblocks whoever holds
+                # the true minimum), or (b) a quiescent LP may still owe
+                # anti-messages for unconfirmed sends it will never
+                # re-issue — the GVT round retires those, and their
+                # delivery is new work.  Terminate only when a fresh
+                # round surfaces neither.
+                self._gvt_round()
+                target = self._pick_machine()
+                if target is None:
+                    break
+            machine, action_time = target
+            if action_time > machine.wall:
+                machine.wall = action_time  # idle until the arrival
+            self._deliver_due(machine)
+            lid = self._pop_ready_lp(machine)
+            if lid is not None:
+                self._execute_on(machine, lid)
+            steps += 1
+            if steps % self.config.gvt_interval == 0:
+                self._gvt_round()
+        self._gvt_round()  # final fossil sweep & memory sample
+        stats.wall_time = max((m.wall for m in self.machines), default=0.0)
+        for m in self.machines:
+            m.stats.wall_time = m.wall
+            stats.machines.append(m.stats)
+        stats.committed_events = stats.processed_events - stats.rolled_back_events
+        return stats
+
+    # -- machine selection ----------------------------------------------------
+
+    def _pick_machine(self) -> tuple[_Machine, float] | None:
+        best: tuple[float, int] | None = None
+        for m in self.machines:
+            t = self._next_action_time(m)
+            if t is None:
+                continue
+            cand = (t, m.mid)
+            if best is None or cand < best:
+                best = cand
+        if best is None:
+            return None
+        return self.machines[best[1]], best[0]
+
+    def _next_action_time(self, m: _Machine) -> float | None:
+        has_work = self._has_ready_work(m)
+        if has_work:
+            # deliveries due before/at the wall happen first anyway
+            return m.wall
+        if m.arrivals:
+            return max(m.wall, m.arrivals[0][0])
+        return None
+
+    def _eligible(self, vt: int) -> bool:
+        """Whether a batch at ``vt`` is inside the optimism window."""
+        if self._conservative:
+            return vt <= self._safe_time(vt)
+        if self._emergency_throttle:
+            return vt <= self._gvt_estimate + 1
+        window = self.config.optimism_window
+        if window is None:
+            return True
+        return vt <= self._gvt_estimate + window
+
+    # -- conservative safe time -------------------------------------------
+
+    def _safe_time(self, candidate_vt: int) -> int:
+        """Exact global safe execution time.
+
+        A batch at ``vt`` is safe iff no unprocessed event or in-flight
+        message anywhere carries an earlier timestamp (equal-time
+        queued events at other LPs are fine — lookahead is one tick —
+        but an in-flight message at the same time must land first).
+        """
+        ready_min = self._global_ready_min()
+        inflight_min = self._inflight_min()
+        bound = candidate_vt
+        if ready_min is not None:
+            bound = min(bound, ready_min)
+        if inflight_min is not None:
+            bound = min(bound, inflight_min - 1)
+        return bound
+
+    def _global_ready_min(self) -> int | None:
+        heap = self._global_ready
+        while heap:
+            vt, lid = heap[0]
+            actual = self.lps[lid].next_pending_vt()
+            if actual is None or actual != vt:
+                heapq.heappop(heap)
+                if actual is not None:
+                    heapq.heappush(heap, (actual, lid))
+                continue
+            return vt
+        return None
+
+    def _inflight_min(self) -> int | None:
+        heap = self._inflight_recv
+        removed = self._inflight_removed
+        while heap:
+            top = heap[0]
+            if removed.get(top):
+                removed[top] -= 1
+                if not removed[top]:
+                    del removed[top]
+                heapq.heappop(heap)
+                continue
+            return top
+        return None
+
+    def _has_ready_work(self, m: _Machine) -> bool:
+        while m.ready:
+            vt, lid = m.ready[0]
+            if self.lp_machine[lid] != m.mid:
+                heapq.heappop(m.ready)  # LP migrated away
+                continue
+            actual = self.lps[lid].next_pending_vt()
+            if actual is None or actual != vt:
+                heapq.heappop(m.ready)
+                if actual is not None:
+                    heapq.heappush(m.ready, (actual, lid))
+                continue
+            # valid entry; heap order means no earlier one exists
+            return self._eligible(vt)
+        return False
+
+    def _refresh_ready(self, m: _Machine) -> None:
+        for lid in m.lp_ids:
+            vt = self.lps[lid].next_pending_vt()
+            if vt is not None:
+                heapq.heappush(m.ready, (vt, lid))
+                if self._conservative:
+                    heapq.heappush(self._global_ready, (vt, lid))
+
+    def _pop_ready_lp(self, m: _Machine) -> int | None:
+        while m.ready:
+            vt, lid = m.ready[0]
+            if self.lp_machine[lid] != m.mid:
+                heapq.heappop(m.ready)  # LP migrated away
+                continue
+            actual = self.lps[lid].next_pending_vt()
+            if actual is None:
+                heapq.heappop(m.ready)
+                continue
+            if actual != vt:
+                heapq.heappop(m.ready)
+                heapq.heappush(m.ready, (actual, lid))
+                continue
+            if not self._eligible(vt):
+                return None  # earliest valid batch is beyond the window
+            heapq.heappop(m.ready)
+            return lid
+        return None
+
+    # -- delivery & execution ---------------------------------------------------
+
+    def _deliver_due(self, machine: _Machine) -> None:
+        while machine.arrivals and machine.arrivals[0][0] <= machine.wall:
+            _, _, msg = heapq.heappop(machine.arrivals)
+            if self._conservative:
+                removed = self._inflight_removed
+                removed[msg.recv_time] = removed.get(msg.recv_time, 0) + 1
+            lp = self.lps[msg.dst_lp]
+            if msg.sign > 0:
+                rollback = lp.insert_positive(msg)
+            else:
+                rollback = lp.insert_anti(msg)
+            if rollback is not None:
+                self._account_rollback(machine, lp, rollback)
+            self._mark_ready(lp)
+
+    def _account_rollback(self, machine, lp: ClusterLP, rollback) -> None:
+        spec = self.spec
+        self.stats.rollbacks += 1
+        machine.stats.rollbacks += 1
+        self.stats.rolled_back_events += rollback.undone_events
+        cost = spec.rollback_overhead + rollback.undone_events * spec.undo_cost
+        for anti in rollback.anti_messages:
+            cost += self._route(machine, anti)
+        machine.wall += cost
+        machine.stats.busy_time += cost
+        self._lp_recent_rollbacks[lp.lid] += 1
+
+    def _execute_on(self, machine: _Machine, lid: int) -> None:
+        spec = self.spec
+        lp = self.lps[lid]
+        nxt = lp.next_pending_vt()
+        for anti in lp.flush_unconfirmed(before_vt=nxt):
+            machine.wall += self._route(machine, anti)
+        result = lp.execute_batch()
+        cost = max(result.gate_evals, 1) * spec.event_cost
+        for msg in result.sends:
+            cost += self._route(machine, msg)
+        if lp.next_pending_vt() is None:
+            for anti in lp.flush_unconfirmed():
+                cost += self._route(machine, anti)
+        machine.wall += cost
+        machine.stats.busy_time += cost
+        machine.stats.batches += 1
+        machine.stats.gate_evals += result.gate_evals
+        self.stats.processed_events += result.gate_evals
+        self._lp_recent_evals[lid] += result.gate_evals
+        self._mark_ready(lp)
+
+    def _route(self, src_machine: _Machine, msg: Message) -> float:
+        """Dispatch one message; returns the CPU cost charged to the sender.
+
+        Every message — including an intra-machine one — goes through
+        the destination machine's arrival queue and is applied at the
+        next delivery point.  Never mutating LP state mid-execution
+        keeps the kernel non-reentrant: a send can't recursively roll
+        back the LP whose batch produced it.
+        """
+        dst_machine = self.machines[self.lp_machine[msg.dst_lp]]
+        self._arrival_serial += 1
+        if self._conservative:
+            heapq.heappush(self._inflight_recv, msg.recv_time)
+        if dst_machine is src_machine:
+            # intra-machine: a queue insert, no network, no CPU charge
+            heapq.heappush(
+                dst_machine.arrivals, (src_machine.wall, self._arrival_serial, msg)
+            )
+            return 0.0
+        if msg.sign > 0:
+            self.stats.messages += 1
+        else:
+            self.stats.anti_messages += 1
+        src_machine.stats.msgs_sent += 1
+        arrival = src_machine.wall + self.spec.msg_latency
+        heapq.heappush(dst_machine.arrivals, (arrival, self._arrival_serial, msg))
+        return self.spec.msg_cpu_overhead
+
+    def _mark_ready(self, lp: ClusterLP) -> None:
+        vt = lp.next_pending_vt()
+        if vt is not None:
+            m = self.machines[self.lp_machine[lp.lid]]
+            heapq.heappush(m.ready, (vt, lp.lid))
+            if self._conservative:
+                heapq.heappush(self._global_ready, (vt, lp.lid))
+
+    # -- GVT ----------------------------------------------------------------------
+
+    def _gvt_round(self) -> None:
+        """Exact GVT from global knowledge, then fossil collection.
+
+        Also retires unconfirmed-send leftovers that can no longer be
+        re-issued (their send time precedes the owner's next possible
+        batch), transmitting their anti-messages — otherwise a blocked
+        or quiescent LP would pin GVT forever.
+        """
+        for lp in self.lps:
+            if lp.min_unconfirmed_recv_time() is None:
+                continue
+            machine = self.machines[self.lp_machine[lp.lid]]
+            for anti in lp.flush_unconfirmed(before_vt=lp.next_pending_vt()):
+                machine.wall += self._route(machine, anti)
+
+        gvt: int | None = None
+
+        def consider(t: int | None) -> None:
+            nonlocal gvt
+            if t is not None and (gvt is None or t < gvt):
+                gvt = t
+
+        for lp in self.lps:
+            consider(lp.next_pending_vt())
+            consider(lp.min_unconfirmed_recv_time())
+        for m in self.machines:
+            for _, _, msg in m.arrivals:
+                consider(msg.recv_time)
+        self.stats.gvt_rounds += 1
+        if gvt is None:
+            gvt = 1 << 62  # everything is committed
+
+        # stall detection: if GVT refuses to advance (aggressive-mode
+        # rollback echo), clamp optimism until it moves again
+        if gvt <= self._gvt_estimate and gvt < (1 << 62):
+            self._stalled_rounds += 1
+            if self._stalled_rounds >= self.config.stall_threshold:
+                self._emergency_throttle = True
+        else:
+            self._stalled_rounds = 0
+            self._emergency_throttle = False
+        if gvt > self._gvt_estimate:
+            self._gvt_estimate = gvt
+
+        total_bytes = 0
+        for lp in self.lps:
+            lp.fossil_collect(gvt)
+            total_bytes += lp.checkpoint_bytes()
+        if total_bytes > self.stats.peak_checkpoint_bytes:
+            self.stats.peak_checkpoint_bytes = total_bytes
+
+        if self.config.adaptive_checkpointing:
+            self._adapt_checkpoint_intervals()
+        if self.config.migration and self.spec.num_machines > 1:
+            self._maybe_migrate()
+        if self.config.adaptive_checkpointing or self.config.migration:
+            self._lp_recent_evals = [0] * len(self.lps)
+            self._lp_recent_rollbacks = [0] * len(self.lps)
+            self._machine_busy_prev = [
+                m.stats.busy_time for m in self.machines
+            ]
+
+    # -- adaptive extensions -------------------------------------------------
+
+    def _adapt_checkpoint_intervals(self) -> None:
+        """Classic adaptive state saving: checkpoint often where
+        rollbacks happen, rarely where execution runs clean."""
+        max_ci = self.config.max_checkpoint_interval
+        for lp in self.lps:
+            if self._lp_recent_rollbacks[lp.lid] > 0:
+                lp.checkpoint_interval = max(1, lp.checkpoint_interval // 2)
+            elif self._lp_recent_evals[lp.lid] > 0:
+                lp.checkpoint_interval = min(max_ci, lp.checkpoint_interval * 2)
+
+    def _maybe_migrate(self) -> None:
+        """Move the hottest LP off the busiest machine when the recent
+        busy-time imbalance exceeds the configured threshold — the
+        paper's "responsive to changes in processor loads" extension."""
+        if self._migration_cooldown > 0:
+            self._migration_cooldown -= 1
+            return
+        recent = [
+            m.stats.busy_time - self._machine_busy_prev[m.mid]
+            for m in self.machines
+        ]
+        busiest = max(range(len(recent)), key=lambda i: (recent[i], -i))
+        calmest = min(range(len(recent)), key=lambda i: (recent[i], i))
+        if busiest == calmest:
+            return
+        src = self.machines[busiest]
+        hosted = [lid for lid in range(len(self.lps))
+                  if self.lp_machine[lid] == busiest]
+        if len(hosted) < 2:
+            return  # never empty a machine
+        if recent[busiest] <= recent[calmest] * (1.0 + self.config.migration_threshold):
+            return
+        lid = max(hosted, key=lambda l: (self._lp_recent_evals[l], -l))
+        if self._lp_recent_evals[lid] == 0:
+            return
+        dst = self.machines[calmest]
+        self.lp_machine[lid] = calmest
+        src.lp_ids.remove(lid)
+        dst.lp_ids.append(lid)
+        # forward queued arrivals addressed to the migrated LP
+        kept: list[tuple[float, int, Message]] = []
+        moved: list[tuple[float, int, Message]] = []
+        for entry in src.arrivals:
+            (moved if entry[2].dst_lp == lid else kept).append(entry)
+        if moved:
+            src.arrivals = kept
+            heapq.heapify(src.arrivals)
+            for arrival, serial, msg in moved:
+                heapq.heappush(
+                    dst.arrivals,
+                    (max(arrival, src.wall) + self.spec.msg_latency, serial, msg),
+                )
+        # state transfer cost on both ends
+        src.wall += self.config.migration_cost
+        src.stats.busy_time += self.config.migration_cost
+        dst.wall += self.config.migration_cost
+        dst.stats.busy_time += self.config.migration_cost
+        self._mark_ready(self.lps[lid])
+        self.stats.migrations += 1
+        self._migration_cooldown = self.config.migration_cooldown
+
+    # -- verification -----------------------------------------------------------
+
+    def final_net_values(self) -> dict[int, int]:
+        """Committed value per net, read from the driving LP's copy
+        (reader LPs' copies for undriven/PI nets)."""
+        circuit = self.circuit
+        out: dict[int, int] = {}
+        for lp in self.lps:
+            for gid in lp.gate_ids:
+                net = int(circuit.gate_output[gid])
+                out[net] = lp.local_value(net)
+        for net in circuit.inputs:
+            for lp in self.lps:
+                if lp.has_net(net):
+                    out[net] = lp.local_value(net)
+                    break
+        return out
+
+    def committed_changes(self) -> dict[tuple[int, int], int]:
+        """Merged committed (time, net) -> value history across LPs.
+
+        Requires ``TimeWarpConfig(record_changes=True)``.  A net local
+        to several LPs (driver + readers) is recorded by each; their
+        copies must agree, which this method also checks.
+        """
+        if not self.config.record_changes:
+            raise SimulationError(
+                "committed_changes() needs TimeWarpConfig(record_changes=True)"
+            )
+        merged: dict[tuple[int, int], int] = {}
+        for lp in self.lps:
+            for vt, net, value in lp._change_log:
+                key = (vt, net)
+                seen = merged.get(key)
+                if seen is not None and seen != value:
+                    raise SimulationError(
+                        f"LPs disagree on net {self.circuit.netlist.net_name(net)!r} "
+                        f"at t={vt}: {seen} vs {value}"
+                    )
+                merged[key] = value
+        return merged
+
+    def verify_change_stream(self, reference: SequentialSimulator) -> None:
+        """Deep oracle: the committed change history must equal the
+        sequential simulator's, entry for entry.
+
+        Both sides need change recording enabled.  This subsumes
+        :meth:`verify_against_sequential` (final values are the last
+        entries of the stream) and additionally pins every intermediate
+        committed transition.
+        """
+        if not reference.record_changes:
+            raise SimulationError(
+                "the reference simulator was not built with record_changes=True"
+            )
+        # nets no LP holds (e.g. a primary input nothing reads) exist
+        # only in the sequential world; exclude them from the oracle
+        observable = set()
+        for lp in self.lps:
+            observable.update(lp._net_list)
+        expected = {
+            (t, net): value
+            for t, net, value in reference.change_log
+            if net in observable
+        }
+        got = self.committed_changes()
+        if got != expected:
+            missing = set(expected) - set(got)
+            extra = set(got) - set(expected)
+            wrong = {
+                k for k in set(got) & set(expected) if got[k] != expected[k]
+            }
+            def fmt(keys):
+                sample = sorted(keys)[:4]
+                return ", ".join(
+                    f"(t={t}, {self.circuit.netlist.net_name(n)})"
+                    for t, n in sample
+                )
+            raise SimulationError(
+                "committed change stream diverges from the sequential oracle: "
+                f"{len(missing)} missing [{fmt(missing)}], "
+                f"{len(extra)} extra [{fmt(extra)}], "
+                f"{len(wrong)} wrong values [{fmt(wrong)}]"
+            )
+
+    def verify_against_sequential(self, reference: SequentialSimulator) -> None:
+        """Raise :class:`SimulationError` on any divergence from the
+        sequential oracle (driven net values at end of run)."""
+        vals = self.final_net_values()
+        for net, v in vals.items():
+            ref = int(reference.values[net])
+            if ref != v:
+                raise SimulationError(
+                    f"divergence on net {self.circuit.netlist.net_name(net)!r} "
+                    f"(id {net}): timewarp={v} sequential={ref}"
+                )

@@ -1,0 +1,201 @@
+"""Abstract syntax tree for the structural gate-level Verilog subset.
+
+The subset covers what logic synthesis emits:
+
+* module definitions with a port header, ``input/output/inout``
+  declarations (scalar or vectored), and ``wire`` declarations;
+* gate primitive instantiations (``nand g1 (y, a, b);``), optionally
+  with a delay spec (``#1``) which is accepted and ignored (the
+  simulator imposes the paper's unit-delay model);
+* hierarchical module instantiations with positional or named
+  connections;
+* continuous ``assign`` statements whose right-hand side is a simple
+  expression (identifier, select, concatenation, literal) — synthesis
+  tools emit these as buffers/aliases.
+
+Expressions are deliberately minimal: this is a *netlist* language, not
+behavioural Verilog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Expr",
+    "Identifier",
+    "BitSelect",
+    "PartSelect",
+    "Concat",
+    "Literal",
+    "Unconnected",
+    "Range",
+    "PortDecl",
+    "NetDecl",
+    "GateInst",
+    "ModuleInst",
+    "Assign",
+    "Module",
+    "Source",
+]
+
+
+class Expr:
+    """Base class for connection expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Identifier(Expr):
+    """A scalar or full-vector net reference, e.g. ``sum``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BitSelect(Expr):
+    """A single-bit select, e.g. ``sum[3]``."""
+
+    name: str
+    index: int
+
+
+@dataclass(frozen=True)
+class PartSelect(Expr):
+    """A contiguous slice, e.g. ``sum[7:4]`` (msb:lsb)."""
+
+    name: str
+    msb: int
+    lsb: int
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    """A concatenation ``{a, b[3:0], 1'b0}`` — leftmost item is MSB."""
+
+    items: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A numeric literal resolved to explicit bits.
+
+    ``bits`` is LSB-first; each element is 0, 1, or 2 (unknown/x).
+    """
+
+    bits: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Unconnected(Expr):
+    """An explicitly unconnected port position (``.q()`` or empty slot)."""
+
+
+@dataclass(frozen=True)
+class Range:
+    """A declared vector range ``[msb:lsb]``."""
+
+    msb: int
+    lsb: int
+
+    @property
+    def width(self) -> int:
+        return abs(self.msb - self.lsb) + 1
+
+    def bit_indices(self) -> list[int]:
+        """Declared bit indices, least-significant first.
+
+        The right bound of the declaration is the least significant
+        bit: ``[7:0]`` yields ``[0, 1, ..., 7]`` and ``[0:7]`` yields
+        ``[7, 6, ..., 0]``.
+        """
+        if self.msb >= self.lsb:
+            return list(range(self.lsb, self.msb + 1))
+        return list(range(self.lsb, self.msb - 1, -1))
+
+
+@dataclass(frozen=True)
+class PortDecl:
+    """``input/output/inout [range] name;``"""
+
+    direction: str  # "input" | "output" | "inout"
+    name: str
+    range: Range | None = None
+
+
+@dataclass(frozen=True)
+class NetDecl:
+    """``wire [range] name;`` (also covers supply0/supply1 as kind)."""
+
+    name: str
+    range: Range | None = None
+    kind: str = "wire"
+
+
+@dataclass(frozen=True)
+class GateInst:
+    """A primitive gate instantiation; terminals are output-first."""
+
+    gtype: str
+    name: str | None
+    terminals: tuple[Expr, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ModuleInst:
+    """A hierarchical module instantiation.
+
+    Exactly one of ``positional`` / ``named`` is non-None.
+    """
+
+    module_name: str
+    instance_name: str
+    positional: tuple[Expr, ...] | None = None
+    named: tuple[tuple[str, Expr], ...] | None = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``assign lhs = rhs;`` — a structural alias/buffer."""
+
+    lhs: Expr
+    rhs: Expr
+    line: int = 0
+
+
+@dataclass
+class Module:
+    """One Verilog module definition."""
+
+    name: str
+    port_order: list[str] = field(default_factory=list)
+    port_decls: dict[str, PortDecl] = field(default_factory=dict)
+    net_decls: dict[str, NetDecl] = field(default_factory=dict)
+    gates: list[GateInst] = field(default_factory=list)
+    instances: list[ModuleInst] = field(default_factory=list)
+    assigns: list[Assign] = field(default_factory=list)
+
+    def width_of(self, name: str) -> int:
+        """Declared bit width of a port or net (1 if scalar)."""
+        decl = self.port_decls.get(name) or self.net_decls.get(name)
+        if decl is None or decl.range is None:
+            return 1
+        return decl.range.width
+
+    def range_of(self, name: str) -> Range | None:
+        """Declared range of a port or net, or None for scalars."""
+        decl = self.port_decls.get(name) or self.net_decls.get(name)
+        return None if decl is None else decl.range
+
+
+@dataclass
+class Source:
+    """A parsed source file: an ordered collection of module defs."""
+
+    modules: dict[str, Module] = field(default_factory=dict)
+
+    def add(self, module: Module) -> None:
+        self.modules[module.name] = module

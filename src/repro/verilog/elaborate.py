@@ -1,0 +1,526 @@
+"""Elaboration: hierarchical AST → flat bit-level :class:`Netlist`.
+
+Elaboration walks the instance tree of the top module, allocating one
+*temporary* net id per declared bit in every scope, then merging nets
+that Verilog declares equal — port connections and continuous
+``assign`` aliases — with a union-find.  Once the whole tree is
+processed, net groups are canonicalized (constants win their groups),
+compacted to dense ids, and single-driver rules are enforced while the
+final :class:`~repro.verilog.netlist.Netlist` is assembled.
+
+This two-phase approach (allocate + union, then compact) keeps the
+recursive walk simple: a scope never needs to know whether its local
+wire will eventually be identified with a parent net three levels up.
+"""
+
+from __future__ import annotations
+
+from ..errors import ElaborationError
+from . import ast
+from .netlist import CONST0, CONST1, CONSTX, HierNode, Netlist
+from .primitives import gate_spec, is_gate_type
+
+__all__ = ["elaborate", "find_top_module", "NetlistBuilder"]
+
+
+class _UnionFind:
+    """Path-halving union-find over dense integer ids."""
+
+    def __init__(self) -> None:
+        self.parent: list[int] = []
+
+    def make(self) -> int:
+        nid = len(self.parent)
+        self.parent.append(nid)
+        return nid
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # keep the smaller root so constant ids (0..2) always win
+            if ra < rb:
+                self.parent[rb] = ra
+            else:
+                self.parent[ra] = rb
+
+
+def find_top_module(source: ast.Source) -> str:
+    """Infer the top module: the unique module never instantiated.
+
+    Raises :class:`ElaborationError` if zero or several candidates
+    exist (the caller should then name the top explicitly).
+    """
+    instantiated: set[str] = set()
+    for module in source.modules.values():
+        for inst in module.instances:
+            instantiated.add(inst.module_name)
+    candidates = [name for name in source.modules if name not in instantiated]
+    if len(candidates) == 1:
+        return candidates[0]
+    if not candidates:
+        raise ElaborationError("no top-level module (instantiation cycle?)")
+    raise ElaborationError(
+        f"ambiguous top module, candidates: {', '.join(sorted(candidates))}"
+    )
+
+
+def elaborate(source: ast.Source, top: str | None = None) -> Netlist:
+    """Elaborate ``source`` into a flat :class:`Netlist`.
+
+    Parameters
+    ----------
+    source:
+        Parsed module definitions.
+    top:
+        Name of the top module; inferred with :func:`find_top_module`
+        when omitted.
+    """
+    if top is None:
+        top = find_top_module(source)
+    if top not in source.modules:
+        raise ElaborationError(f"top module {top!r} not defined")
+    return _Elaborator(source).run(top)
+
+
+class _Elaborator:
+    _MAX_DEPTH = 200
+
+    def __init__(self, source: ast.Source) -> None:
+        self.source = source
+        self.uf = _UnionFind()
+        self.net_name: list[str] = []
+        # temp gates: (gtype, hier name, path, input temp ids, output temp id)
+        self.gates: list[tuple[str, str, tuple[str, ...], tuple[int, ...], int]] = []
+        self.top_inputs: list[int] = []
+        self.top_outputs: list[int] = []
+
+    # -- temp net allocation ------------------------------------------------
+
+    def _new_net(self, name: str) -> int:
+        nid = self.uf.make()
+        self.net_name.append(name)
+        return nid
+
+    def run(self, top: str) -> Netlist:
+        # constants occupy temp ids 0..2 so union-find roots favour them
+        for cname in ("const0", "const1", "constx"):
+            self._new_net(cname)
+        netlist = Netlist(top)
+        module = self.source.modules[top]
+        root = netlist.hierarchy
+        root.module = top
+        scope = self._instantiate(module, (), root, bindings=None, depth=0)
+        for pname in module.port_order:
+            decl = module.port_decls.get(pname)
+            if decl is None:
+                raise ElaborationError(
+                    f"top module port {pname!r} has no direction declaration"
+                )
+            bits = scope[pname]
+            if decl.direction == "input":
+                self.top_inputs.extend(bits)
+            elif decl.direction == "output":
+                self.top_outputs.extend(bits)
+            else:
+                raise ElaborationError(
+                    f"top-level inout port {pname!r} is not supported"
+                )
+        return self._compact(netlist)
+
+    # -- recursive instantiation ------------------------------------------
+
+    def _instantiate(
+        self,
+        module: ast.Module,
+        path: tuple[str, ...],
+        hier: HierNode,
+        bindings: dict[str, list[int]] | None,
+        depth: int,
+    ) -> dict[str, list[int]]:
+        """Elaborate one module instance; returns its name→bits scope.
+
+        ``bindings`` maps port names to parent net bit lists (None for
+        the top module, whose ports become primary I/O).
+        """
+        if depth > self._MAX_DEPTH:
+            raise ElaborationError(
+                f"instance nesting deeper than {self._MAX_DEPTH} "
+                f"(recursive instantiation of {module.name!r}?)"
+            )
+        prefix = ".".join(path)
+        scope: dict[str, list[int]] = {}
+
+        def declare(name: str, rng: ast.Range | None) -> list[int]:
+            width = 1 if rng is None else rng.width
+            if width == 1:
+                bits = [self._new_net(f"{prefix}.{name}" if prefix else name)]
+            else:
+                bits = [
+                    self._new_net(
+                        f"{prefix}.{name}[{idx}]" if prefix else f"{name}[{idx}]"
+                    )
+                    for idx in rng.bit_indices()
+                ]
+            scope[name] = bits
+            return bits
+
+        for pname, pdecl in module.port_decls.items():
+            declare(pname, pdecl.range)
+        for nname, ndecl in module.net_decls.items():
+            if nname in scope:
+                continue  # `wire` redeclaration of a port
+            bits = declare(nname, ndecl.range)
+            if ndecl.kind == "supply0":
+                for b in bits:
+                    self.uf.union(b, CONST0)
+            elif ndecl.kind == "supply1":
+                for b in bits:
+                    self.uf.union(b, CONST1)
+
+        # bind ports to parent nets
+        if bindings is not None:
+            for pname, parent_bits in bindings.items():
+                pdecl = module.port_decls.get(pname)
+                if pdecl is None:
+                    raise ElaborationError(
+                        f"module {module.name!r} has no port {pname!r} "
+                        f"(instance {prefix or module.name})"
+                    )
+                local_bits = scope[pname]
+                if len(parent_bits) != len(local_bits):
+                    raise ElaborationError(
+                        f"width mismatch on port {pname!r} of {prefix or module.name}: "
+                        f"connected {len(parent_bits)} bits to {len(local_bits)}-bit port"
+                    )
+                for lb, pb in zip(local_bits, parent_bits):
+                    self.uf.union(lb, pb)
+
+        # continuous assigns are aliases
+        for assign in module.assigns:
+            lhs = self._resolve(assign.lhs, scope, module, prefix, assign.line)
+            rhs = self._resolve(assign.rhs, scope, module, prefix, assign.line)
+            if len(lhs) != len(rhs):
+                raise ElaborationError(
+                    f"assign width mismatch in {module.name} line {assign.line}: "
+                    f"{len(lhs)} vs {len(rhs)} bits"
+                )
+            for lb, rb in zip(lhs, rhs):
+                self.uf.union(lb, rb)
+
+        # primitive gates
+        unnamed = 0
+        for gate in module.gates:
+            if gate.name is None:
+                gname = f"_g{unnamed}"
+                unnamed += 1
+            else:
+                gname = gate.name
+            hier_name = f"{prefix}.{gname}" if prefix else gname
+            terms = [
+                self._resolve(t, scope, module, prefix, gate.line)
+                for t in gate.terminals
+            ]
+            for i, bits in enumerate(terms):
+                if len(bits) != 1:
+                    raise ElaborationError(
+                        f"terminal {i} of gate {hier_name!r} is "
+                        f"{len(bits)} bits wide; gate pins are scalar"
+                    )
+            out = terms[0][0]
+            ins = tuple(t[0] for t in terms[1:])
+            self.gates.append((gate.gtype, hier_name, path, ins, out))
+
+        # child instances
+        for inst in module.instances:
+            if is_gate_type(inst.module_name):
+                raise ElaborationError(
+                    f"{inst.module_name!r} shadows a primitive name"
+                )
+            child_def = self.source.modules.get(inst.module_name)
+            if child_def is None:
+                raise ElaborationError(
+                    f"module {inst.module_name!r} (instance "
+                    f"{prefix + '.' if prefix else ''}{inst.instance_name}) is not defined"
+                )
+            child_bindings = self._connection_bindings(
+                inst, child_def, scope, module, prefix
+            )
+            if inst.instance_name in hier.children:
+                raise ElaborationError(
+                    f"duplicate instance name {inst.instance_name!r} in "
+                    f"{prefix or module.name}"
+                )
+            child_node = HierNode(
+                name=inst.instance_name,
+                module=inst.module_name,
+                path=path + (inst.instance_name,),
+            )
+            hier.children[inst.instance_name] = child_node
+            self._instantiate(
+                child_def,
+                path + (inst.instance_name,),
+                child_node,
+                child_bindings,
+                depth + 1,
+            )
+        return scope
+
+    def _connection_bindings(
+        self,
+        inst: ast.ModuleInst,
+        child: ast.Module,
+        scope: dict[str, list[int]],
+        module: ast.Module,
+        prefix: str,
+    ) -> dict[str, list[int]]:
+        """Resolve an instance's connections to port-name → parent-bit map."""
+        bindings: dict[str, list[int]] = {}
+
+        def bind(pname: str, expr: ast.Expr) -> None:
+            if isinstance(expr, ast.Unconnected):
+                pdecl = child.port_decls.get(pname)
+                if pdecl is not None and pdecl.direction == "input":
+                    width = child.width_of(pname)
+                    bindings[pname] = [CONSTX] * width
+                # unconnected outputs simply stay local to the child
+                return
+            bindings[pname] = self._resolve(expr, scope, module, prefix, inst.line)
+
+        if inst.named is not None:
+            seen: set[str] = set()
+            for pname, expr in inst.named:
+                if pname in seen:
+                    raise ElaborationError(
+                        f"port {pname!r} connected twice on instance "
+                        f"{inst.instance_name!r}"
+                    )
+                seen.add(pname)
+                bind(pname, expr)
+        else:
+            positional = inst.positional or ()
+            if len(positional) > len(child.port_order):
+                raise ElaborationError(
+                    f"instance {inst.instance_name!r} of {child.name!r} has "
+                    f"{len(positional)} connections for {len(child.port_order)} ports"
+                )
+            for pname, expr in zip(child.port_order, positional):
+                bind(pname, expr)
+        return bindings
+
+    def _resolve(
+        self,
+        expr: ast.Expr,
+        scope: dict[str, list[int]],
+        module: ast.Module,
+        prefix: str,
+        line: int,
+    ) -> list[int]:
+        """Expression → list of temp net ids, LSB first."""
+        where = f"{module.name}{' (' + prefix + ')' if prefix else ''} line {line}"
+        if isinstance(expr, ast.Identifier):
+            bits = scope.get(expr.name)
+            if bits is None:
+                # implicit scalar wire (legal Verilog for undeclared nets)
+                bits = [self._new_net(f"{prefix}.{expr.name}" if prefix else expr.name)]
+                scope[expr.name] = bits
+            return bits
+        if isinstance(expr, ast.BitSelect):
+            bits = scope.get(expr.name)
+            if bits is None:
+                raise ElaborationError(f"undeclared vector {expr.name!r} in {where}")
+            rng = module.range_of(expr.name)
+            if rng is None:
+                raise ElaborationError(
+                    f"bit-select on scalar net {expr.name!r} in {where}"
+                )
+            indices = rng.bit_indices()
+            try:
+                pos = indices.index(expr.index)
+            except ValueError:
+                raise ElaborationError(
+                    f"index {expr.index} out of range for {expr.name!r} in {where}"
+                )
+            return [bits[pos]]
+        if isinstance(expr, ast.PartSelect):
+            bits = scope.get(expr.name)
+            rng = module.range_of(expr.name)
+            if bits is None or rng is None:
+                raise ElaborationError(
+                    f"part-select on undeclared/scalar net {expr.name!r} in {where}"
+                )
+            indices = rng.bit_indices()
+            try:
+                lo = indices.index(expr.lsb)
+                hi = indices.index(expr.msb)
+            except ValueError:
+                raise ElaborationError(
+                    f"part-select [{expr.msb}:{expr.lsb}] out of range for "
+                    f"{expr.name!r} in {where}"
+                )
+            if lo > hi:
+                raise ElaborationError(
+                    f"reversed part-select [{expr.msb}:{expr.lsb}] on "
+                    f"{expr.name!r} in {where}"
+                )
+            return bits[lo : hi + 1]
+        if isinstance(expr, ast.Concat):
+            out: list[int] = []
+            # Verilog concatenation lists MSB first; bit order is LSB
+            # first, so append items right-to-left.
+            for item in reversed(expr.items):
+                out.extend(self._resolve(item, scope, module, prefix, line))
+            return out
+        if isinstance(expr, ast.Literal):
+            return [(CONST0, CONST1, CONSTX)[b] for b in expr.bits]
+        if isinstance(expr, ast.Unconnected):
+            raise ElaborationError(f"empty expression in {where}")
+        raise ElaborationError(f"unsupported expression {expr!r} in {where}")
+
+    # -- compaction ----------------------------------------------------------
+
+    def _compact(self, netlist: Netlist) -> Netlist:
+        """Canonicalize net groups, build the final dense netlist."""
+        n_temp = len(self.uf.parent)
+        root_to_final: dict[int, int] = {}
+        final_of = [0] * n_temp
+
+        # constants first: their roots are themselves (smallest-root union)
+        for cid in (CONST0, CONST1, CONSTX):
+            root = self.uf.find(cid)
+            if root != cid:
+                raise ElaborationError("constant nets were merged together")
+            root_to_final[cid] = cid
+
+        used_roots: list[int] = []
+        for t in range(n_temp):
+            root = self.uf.find(t)
+            if root not in root_to_final:
+                root_to_final[root] = -1  # placeholder, numbered below
+                used_roots.append(root)
+
+        # pick a representative name per root: shortest, tie-break lexical
+        best_name: dict[int, str] = {}
+        for t in range(n_temp):
+            root = self.uf.find(t)
+            if root < 3:
+                continue
+            name = self.net_name[t]
+            cur = best_name.get(root)
+            if cur is None or (len(name), name) < (len(cur), cur):
+                best_name[root] = name
+
+        for root in used_roots:
+            root_to_final[root] = netlist.add_net(best_name[root])
+        for t in range(n_temp):
+            final_of[t] = root_to_final[self.uf.find(t)]
+
+        for gtype, name, path, ins, out in self.gates:
+            netlist.add_gate(
+                gtype,
+                name,
+                path,
+                tuple(final_of[i] for i in ins),
+                final_of[out],
+            )
+
+        for t in self.top_inputs:
+            nid = final_of[t]
+            if nid in (CONST0, CONST1, CONSTX):
+                raise ElaborationError(
+                    "a primary input is tied to a constant net"
+                )
+            netlist.inputs.append(nid)
+        netlist.outputs.extend(final_of[t] for t in self.top_outputs)
+        netlist.finalize()
+        return netlist
+
+
+class NetlistBuilder:
+    """Programmatic netlist construction for tests and generators.
+
+    A thin convenience wrapper over :class:`Netlist` that manages net
+    names and optional hierarchy grouping without going through Verilog
+    text.  Example::
+
+        nb = NetlistBuilder("toy")
+        a, b = nb.input("a"), nb.input("b")
+        y = nb.net("y")
+        nb.gate("nand", (a, b), y)
+        nb.output_net(y)
+        netlist = nb.build()
+    """
+
+    def __init__(self, top: str) -> None:
+        self._netlist = Netlist(top)
+        self._unnamed = 0
+        self._built = False
+
+    def net(self, name: str | None = None) -> int:
+        """Create a fresh net (auto-named ``_n<i>`` when unnamed)."""
+        if name is None:
+            name = f"_n{self._unnamed}"
+            self._unnamed += 1
+        return self._netlist.add_net(name)
+
+    def input(self, name: str) -> int:
+        """Create a primary-input net."""
+        nid = self._netlist.add_net(name)
+        self._netlist.inputs.append(nid)
+        return nid
+
+    def output_net(self, nid: int) -> None:
+        """Mark an existing net as a primary output."""
+        self._netlist.outputs.append(nid)
+
+    def gate(
+        self,
+        gtype: str,
+        inputs: tuple[int, ...] | list[int],
+        output: int,
+        name: str | None = None,
+        path: tuple[str, ...] = (),
+    ) -> int:
+        """Add a gate; ``path`` places it in the hierarchy tree."""
+        spec = gate_spec(gtype)
+        n_in = len(inputs)
+        if n_in < spec.min_inputs or (
+            spec.max_inputs is not None and n_in > spec.max_inputs
+        ):
+            raise ElaborationError(
+                f"{gtype} gate with {n_in} inputs (spec: {spec.min_inputs}"
+                f"..{spec.max_inputs if spec.max_inputs is not None else 'inf'})"
+            )
+        if name is None:
+            name = f"_g{len(self._netlist.gates)}"
+        hier_name = ".".join((*path, name))
+        self._ensure_path(path)
+        return self._netlist.add_gate(gtype, hier_name, path, tuple(inputs), output)
+
+    def dff(self, d: int, clk: int, q: int, name: str | None = None,
+            path: tuple[str, ...] = ()) -> int:
+        """Shorthand for a D flip-flop cell."""
+        return self.gate("dff", (d, clk), q, name=name, path=path)
+
+    def _ensure_path(self, path: tuple[str, ...]) -> None:
+        node = self._netlist.hierarchy
+        for i, name in enumerate(path):
+            if name not in node.children:
+                node.children[name] = HierNode(
+                    name=name, module=f"_m_{name}", path=path[: i + 1]
+                )
+            node = node.children[name]
+
+    def build(self) -> Netlist:
+        """Finalize and return the netlist (single use)."""
+        if self._built:
+            raise ElaborationError("NetlistBuilder.build() called twice")
+        self._built = True
+        self._netlist.finalize()
+        return self._netlist

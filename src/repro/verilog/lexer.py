@@ -1,0 +1,159 @@
+r"""Tokenizer for the structural gate-level Verilog subset.
+
+Handles identifiers (including escaped ``\foo`` identifiers emitted by
+synthesis tools), sized/unsized numeric literals (``8'hFF``, ``1'b0``,
+``42``), punctuation, line (``//``) and block (``/* */``) comments, and
+compiler directives (backtick lines are skipped — timescale directives
+are irrelevant to a unit-delay model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import LexError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "module",
+        "endmodule",
+        "input",
+        "output",
+        "inout",
+        "wire",
+        "assign",
+        "supply0",
+        "supply1",
+    }
+)
+
+_PUNCT = (
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ";",
+    ":",
+    "=",
+    ".",
+    "#",
+)
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``"ident"``, ``"keyword"``, ``"number"``,
+    ``"sized_number"``, a punctuation string, or ``"eof"``.  For
+    ``sized_number`` the ``value`` keeps the raw literal text (e.g.
+    ``"4'b10x1"``); parsing of the base/bits happens in the parser so
+    error positions are preserved.
+    """
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize Verilog source text; raises :class:`LexError` on
+    unrecognized characters."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    line = 1
+    col = 1
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if text[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = text[i]
+        if c in " \t\r\n":
+            advance(1)
+            continue
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            advance((j - i) if j != -1 else (n - i))
+            continue
+        if text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            if j == -1:
+                raise LexError("unterminated block comment", line, col)
+            advance(j + 2 - i)
+            continue
+        if c == "`":
+            # compiler directive: skip to end of line
+            j = text.find("\n", i)
+            advance((j - i) if j != -1 else (n - i))
+            continue
+        if c == "\\":
+            # escaped identifier: up to the next whitespace
+            j = i + 1
+            while j < n and text[j] not in " \t\r\n":
+                j += 1
+            if j == i + 1:
+                raise LexError("empty escaped identifier", line, col)
+            tok = Token("ident", text[i + 1 : j], line, col)
+            advance(j - i)
+            yield tok
+            continue
+        if c in _IDENT_START:
+            j = i
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            word = text[i:j]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tok = Token(kind, word, line, col)
+            advance(j - i)
+            yield tok
+            continue
+        if c in _DIGITS or c == "'":
+            # number: [size]'[base]digits  or plain decimal
+            j = i
+            while j < n and (text[j] in _DIGITS or text[j] == "_"):
+                j += 1
+            if j < n and text[j] == "'":
+                j += 1
+                if j < n and text[j] in "sS":
+                    j += 1
+                if j >= n or text[j] not in "bBoOdDhH":
+                    raise LexError("malformed based literal", line, col)
+                j += 1
+                while j < n and (text[j] in _IDENT_CONT or text[j] == "?"):
+                    j += 1
+                tok = Token("sized_number", text[i:j], line, col)
+            else:
+                tok = Token("number", text[i:j].replace("_", ""), line, col)
+            advance(j - i)
+            yield tok
+            continue
+        if c in _PUNCT:
+            tok = Token(c, c, line, col)
+            advance(1)
+            yield tok
+            continue
+        raise LexError(f"unexpected character {c!r}", line, col)
+    yield Token("eof", "", line, col)

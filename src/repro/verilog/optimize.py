@@ -1,0 +1,192 @@
+"""Netlist optimization passes.
+
+Synthesized netlists — and especially *generated* ones — carry slack:
+gates with constant inputs, buffer chains, logic that no output ever
+observes.  Three classic passes clean it up while provably preserving
+observable behaviour (the test suite checks simulation equivalence on
+random stimuli):
+
+* **constant propagation** — a gate whose inputs are known folds to a
+  constant (controlling values count: ``and(x, 0) = 0`` even with x
+  unknown);
+* **buffer collapse** — ``buf`` gates become net aliases;
+* **dead-gate elimination** — gates from which no primary output is
+  reachable are dropped (flip-flops are only state worth keeping if
+  something observable reads them).
+
+The optimizer returns a new :class:`Netlist`; the input is untouched.
+Hierarchy annotations survive (surviving gates keep their paths).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import NetlistError
+from .netlist import CONST0, CONST1, CONSTX, HierNode, Netlist
+from .primitives import is_sequential
+
+__all__ = ["OptStats", "optimize_netlist"]
+
+
+@dataclass
+class OptStats:
+    """What each pass removed."""
+
+    const_folded: int = 0
+    buffers_collapsed: int = 0
+    dead_removed: int = 0
+    gates_before: int = 0
+    gates_after: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.gates_before} -> {self.gates_after} gates "
+            f"({self.const_folded} const-folded, "
+            f"{self.buffers_collapsed} buffers collapsed, "
+            f"{self.dead_removed} dead)"
+        )
+
+
+_CONTROLLING = {  # gate type -> (controlling input value, folded output)
+    "and": (0, 0),
+    "nand": (0, 1),
+    "or": (1, 1),
+    "nor": (1, 0),
+}
+
+_NEUTRAL_FOLD = {  # all-known fold handled generically below
+    "and": lambda vals: int(all(vals)),
+    "nand": lambda vals: 1 - int(all(vals)),
+    "or": lambda vals: int(any(vals)),
+    "nor": lambda vals: 1 - int(any(vals)),
+    "xor": lambda vals: sum(vals) % 2,
+    "xnor": lambda vals: 1 - sum(vals) % 2,
+    "not": lambda vals: 1 - vals[0],
+    "buf": lambda vals: vals[0],
+}
+
+
+def optimize_netlist(netlist: Netlist) -> tuple[Netlist, OptStats]:
+    """Run all passes; returns (optimized netlist, statistics)."""
+    stats = OptStats(gates_before=netlist.num_gates)
+
+    # resolution state over the ORIGINAL net ids
+    const: dict[int, int] = {CONST0: 0, CONST1: 1}
+    alias: dict[int, int] = {}
+
+    def resolve(nid: int) -> int:
+        while nid in alias:
+            nid = alias[nid]
+        return nid
+
+    def value_of(nid: int) -> int | None:
+        return const.get(resolve(nid))
+
+    # -- pass 1: constant propagation + buffer collapse (to fixpoint) ----
+    changed = True
+    folded: set[int] = set()  # gate ids replaced by constants/aliases
+    while changed:
+        changed = False
+        for gate in netlist.gates:
+            if gate.gid in folded or is_sequential(gate.gtype):
+                continue
+            in_vals = [value_of(n) for n in gate.inputs]
+            out = resolve(gate.output)
+            if gate.gtype == "buf":
+                src = resolve(gate.inputs[0])
+                v = const.get(src)
+                if v is not None:
+                    const[out] = v
+                    stats.const_folded += 1
+                else:
+                    alias[out] = src
+                    stats.buffers_collapsed += 1
+                folded.add(gate.gid)
+                changed = True
+                continue
+            if all(v is not None for v in in_vals):
+                const[out] = _NEUTRAL_FOLD[gate.gtype](in_vals)  # type: ignore[arg-type]
+                folded.add(gate.gid)
+                stats.const_folded += 1
+                changed = True
+                continue
+            ctrl = _CONTROLLING.get(gate.gtype)
+            if ctrl is not None and ctrl[0] in in_vals:
+                const[out] = ctrl[1]
+                folded.add(gate.gid)
+                stats.const_folded += 1
+                changed = True
+
+    # -- pass 2: dead-gate elimination (reverse reachability from POs) ---
+    driver_of: dict[int, int] = {}
+    for gate in netlist.gates:
+        if gate.gid not in folded:
+            driver_of[resolve(gate.output)] = gate.gid
+    live: set[int] = set()
+    frontier: deque[int] = deque()
+    for po in netlist.outputs:
+        gid = driver_of.get(resolve(po))
+        if gid is not None and gid not in live:
+            live.add(gid)
+            frontier.append(gid)
+    while frontier:
+        gid = frontier.popleft()
+        for nid in netlist.gates[gid].inputs:
+            src = driver_of.get(resolve(nid))
+            if src is not None and src not in live:
+                live.add(src)
+                frontier.append(src)
+
+    # -- rebuild ------------------------------------------------------------
+    out = Netlist(netlist.top)
+    net_map: dict[int, int] = {CONST0: CONST0, CONST1: CONST1, CONSTX: CONSTX}
+
+    def remap(nid: int) -> int:
+        nid = resolve(nid)
+        v = const.get(nid)
+        if v is not None:
+            return CONST0 if v == 0 else CONST1
+        mapped = net_map.get(nid)
+        if mapped is None:
+            mapped = out.add_net(netlist.net_name(nid))
+            net_map[nid] = mapped
+        return mapped
+
+    # hierarchy skeleton first so gate paths can attach
+    def clone_tree(src: HierNode, dst: HierNode) -> None:
+        for name, child in src.children.items():
+            node = HierNode(name=name, module=child.module, path=child.path)
+            dst.children[name] = node
+            clone_tree(child, node)
+
+    clone_tree(netlist.hierarchy, out.hierarchy)
+
+    kept = 0
+    for gate in netlist.gates:
+        if gate.gid in folded:
+            continue
+        if gate.gid not in live:
+            stats.dead_removed += 1
+            continue
+        out.add_gate(
+            gate.gtype,
+            gate.name,
+            gate.path,
+            tuple(remap(n) for n in gate.inputs),
+            remap(gate.output),
+        )
+        kept += 1
+
+    for po in netlist.inputs:
+        mapped = remap(po)
+        if mapped in (CONST0, CONST1, CONSTX):
+            raise NetlistError(
+                f"primary input {netlist.net_name(po)!r} folded to a constant"
+            )
+        out.inputs.append(mapped)
+    out.outputs.extend(remap(po) for po in netlist.outputs)
+    out.finalize()
+    stats.gates_after = kept
+    return out, stats

@@ -1,0 +1,102 @@
+"""Shared fixtures: small reference circuits compiled once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import load_circuit, random_vectors
+from repro.sim import compile_circuit
+from repro.verilog import compile_verilog
+
+ADDER4_SRC = """
+module ha (a, b, s, c);
+  input a, b; output s, c;
+  xor (s, a, b); and (c, a, b);
+endmodule
+module fa (a, b, cin, s, cout);
+  input a, b, cin; output s, cout;
+  wire s1, c1, c2;
+  ha u1 (a, b, s1, c1);
+  ha u2 (.a(s1), .b(cin), .s(s), .c(c2));
+  or (cout, c1, c2);
+endmodule
+module top (x, y, ci, sum, co);
+  input [3:0] x, y; input ci;
+  output [3:0] sum; output co;
+  wire [2:0] carry;
+  fa f0 (x[0], y[0], ci, sum[0], carry[0]);
+  fa f1 (x[1], y[1], carry[0], sum[1], carry[1]);
+  fa f2 (x[2], y[2], carry[1], sum[2], carry[2]);
+  fa f3 (x[3], y[3], carry[2], sum[3], co);
+endmodule
+"""
+
+PIPEADD_SRC = """
+module ha (a, b, s, c);
+  input a, b; output s, c;
+  xor (s, a, b); and (c, a, b);
+endmodule
+module fa (a, b, cin, s, cout);
+  input a, b, cin; output s, cout;
+  wire s1, c1, c2;
+  ha u1 (a, b, s1, c1);
+  ha u2 (.a(s1), .b(cin), .s(s), .c(c2));
+  or (cout, c1, c2);
+endmodule
+module pipeadd (clk, rst, x, y, ci, sum, co);
+  input clk, rst; input [3:0] x, y; input ci;
+  output [3:0] sum; output co;
+  wire [3:0] xr, yr; wire cir;
+  wire [2:0] carry; wire [3:0] s_w; wire co_w;
+  dffr rx0 (xr[0], x[0], clk, rst); dffr rx1 (xr[1], x[1], clk, rst);
+  dffr rx2 (xr[2], x[2], clk, rst); dffr rx3 (xr[3], x[3], clk, rst);
+  dffr ry0 (yr[0], y[0], clk, rst); dffr ry1 (yr[1], y[1], clk, rst);
+  dffr ry2 (yr[2], y[2], clk, rst); dffr ry3 (yr[3], y[3], clk, rst);
+  dffr rci (cir, ci, clk, rst);
+  fa f0 (xr[0], yr[0], cir, s_w[0], carry[0]);
+  fa f1 (xr[1], yr[1], carry[0], s_w[1], carry[1]);
+  fa f2 (xr[2], yr[2], carry[1], s_w[2], carry[2]);
+  fa f3 (xr[3], yr[3], carry[2], s_w[3], co_w);
+  dffr rs0 (sum[0], s_w[0], clk, rst); dffr rs1 (sum[1], s_w[1], clk, rst);
+  dffr rs2 (sum[2], s_w[2], clk, rst); dffr rs3 (sum[3], s_w[3], clk, rst);
+  dffr rco (co, co_w, clk, rst);
+endmodule
+"""
+
+
+@pytest.fixture(scope="session")
+def adder4():
+    """4-bit combinational ripple adder with 2-level hierarchy."""
+    return compile_verilog(ADDER4_SRC)
+
+
+@pytest.fixture(scope="session")
+def adder4_circuit(adder4):
+    return compile_circuit(adder4)
+
+
+@pytest.fixture(scope="session")
+def pipeadd():
+    """Registered 4-bit adder: flip-flops + combinational core."""
+    return compile_verilog(PIPEADD_SRC)
+
+
+@pytest.fixture(scope="session")
+def pipeadd_circuit(pipeadd):
+    return compile_circuit(pipeadd)
+
+
+@pytest.fixture(scope="session")
+def viterbi_test():
+    """Tiny Viterbi decoder (the paper's workload at unit-test scale)."""
+    return load_circuit("viterbi-test")
+
+
+@pytest.fixture(scope="session")
+def viterbi_test_circuit(viterbi_test):
+    return compile_circuit(viterbi_test)
+
+
+@pytest.fixture(scope="session")
+def pipeadd_events(pipeadd):
+    return random_vectors(pipeadd, 40, seed=7)

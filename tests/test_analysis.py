@@ -1,0 +1,119 @@
+"""Circuit structure analysis."""
+
+import pytest
+
+from repro.circuits import load_circuit
+from repro.hypergraph import analyze_netlist, locality_fraction, stuck_x_report
+from repro.sim import Testbench
+from repro.verilog import compile_verilog
+
+
+class TestLocality:
+    def test_adder_boundary_nets_are_carries(self, adder4):
+        local, boundary = locality_fraction(adder4)
+        # carries between fa instances cross visible nodes; intra-fa
+        # nets (s1, c1, c2 and ha internals) stay local
+        assert boundary >= 3  # the carry chain
+        assert local > 0
+
+    def test_viterbi_is_highly_local(self, viterbi_test):
+        local, boundary = locality_fraction(viterbi_test)
+        assert local / (local + boundary) > 0.5
+
+    def test_counts_only_multi_pin_nets(self, adder4):
+        local, boundary = locality_fraction(adder4)
+        total_nets = adder4.num_nets
+        assert local + boundary < total_nets  # constants etc. excluded
+
+
+class TestAnalyze:
+    def test_fields(self, pipeadd):
+        s = analyze_netlist(pipeadd)
+        assert s.gates == pipeadd.num_gates
+        assert s.flip_flops == 14
+        assert s.top_instances == 4
+        assert s.hierarchy_depth == 2  # fa -> ha
+        assert s.logic_depth >= 3
+        assert s.fanout_max >= 1
+        assert 0.0 <= s.locality <= 1.0
+
+    def test_summary_text(self, viterbi_test):
+        text = analyze_netlist(viterbi_test).summary()
+        assert "net locality" in text
+        assert "logic depth" in text
+
+    def test_viterbi_vs_cpu_shapes_differ(self):
+        """The two workloads' structure — the reason their partitioning
+        outcomes differ — is visible in the stats."""
+        vit = analyze_netlist(load_circuit("viterbi-test"))
+        cpu = analyze_netlist(load_circuit("cpu-test"))
+        # the CPU has far fewer, much bigger top instances
+        assert cpu.top_instances < vit.top_instances
+        assert max(cpu.instance_sizes) > max(vit.instance_sizes)
+
+
+class TestStuckX:
+    def test_clean_design(self, pipeadd):
+        tb = Testbench(pipeadd).clock("clk").reset("rst").randomize(seed=1)
+        report = stuck_x_report(pipeadd, tb.events(cycles=4))
+        assert report.clean
+        assert "initializes completely" in report.summary(pipeadd)
+
+    def test_resetless_feedback_detected(self):
+        """A dff without reset in a feedback loop re-circulates X —
+        exactly the bug the CPU generator originally had."""
+        nl = compile_verilog(
+            """
+            module t (clk, o); input clk; output o;
+              wire q, d;
+              not (d, q);
+              dff (q, d, clk);   // no reset: q is X forever
+              buf (o, q);
+            endmodule
+            """
+        )
+        tb = Testbench(nl).clock("clk")
+        report = stuck_x_report(nl, tb.events(cycles=6))
+        assert not report.clean
+        causes = set(report.by_cause)
+        assert any("flip-flop" in c for c in causes)
+        text = report.summary(nl)
+        assert "still X" in text
+
+    def test_undriven_net_classified(self):
+        nl = compile_verilog(
+            "module t (o, a); output o; input a; wire dang; and (o, a, dang); endmodule"
+        )
+        from repro.sim import InputEvent
+
+        report = stuck_x_report(nl, [InputEvent(0, nl.inputs[0], 1)])
+        assert any("undriven" in c for c in report.by_cause)
+
+    def test_derived_x_classified(self):
+        nl = compile_verilog(
+            """
+            module t (o, a); output o; input a;
+              wire dang, mid;
+              xor (mid, a, dang);
+              buf (o, mid);
+            endmodule
+            """
+        )
+        from repro.sim import InputEvent
+
+        report = stuck_x_report(nl, [InputEvent(0, nl.inputs[0], 1)])
+        assert any("derived" in c for c in report.by_cause)
+
+
+class TestCli:
+    def test_cli_stats_flag(self, tmp_path):
+        import io
+
+        from repro.cli import main
+        from tests.conftest import PIPEADD_SRC
+
+        p = tmp_path / "d.v"
+        p.write_text(PIPEADD_SRC)
+        out = io.StringIO()
+        assert main(["info", str(p), "--stats"], out=out) == 0
+        assert "net locality" in out.getvalue()

@@ -1,0 +1,70 @@
+"""Cost-model calibration against the host."""
+
+import pytest
+
+from repro.circuits import random_vectors
+from repro.errors import ConfigError
+from repro.sim import (
+    CalibrationResult,
+    ClusterSpec,
+    calibrated_spec,
+    measure_event_cost,
+)
+
+
+class TestMeasure:
+    def test_produces_positive_cost(self, pipeadd, pipeadd_circuit):
+        events = random_vectors(pipeadd, 10, seed=0)
+        cal = measure_event_cost(pipeadd_circuit, events, repeats=2)
+        assert cal.events > 0
+        assert cal.elapsed > 0
+        assert cal.event_cost > 0
+        assert cal.events_per_second() > 1000  # any machine beats 1k ev/s
+
+    def test_empty_stimulus_rejected(self, pipeadd_circuit):
+        with pytest.raises(ConfigError, match="no gate events"):
+            measure_event_cost(pipeadd_circuit, [], repeats=1)
+
+    def test_repeats_validated(self, pipeadd_circuit):
+        with pytest.raises(ConfigError, match="repeats"):
+            measure_event_cost(pipeadd_circuit, [], repeats=0)
+
+
+class TestCalibratedSpec:
+    def test_ratios_preserved(self):
+        base = ClusterSpec(num_machines=4)
+        cal = CalibrationResult(events=1000, elapsed=0.004, event_cost=4e-6)
+        spec = calibrated_spec(base, cal)
+        assert spec.event_cost == pytest.approx(4e-6)
+        assert spec.msg_cpu_overhead / spec.event_cost == pytest.approx(
+            base.msg_cpu_overhead / base.event_cost
+        )
+        assert spec.msg_latency / spec.event_cost == pytest.approx(
+            base.msg_latency / base.event_cost
+        )
+
+    def test_event_cost_only(self):
+        base = ClusterSpec(num_machines=2)
+        cal = CalibrationResult(events=1, elapsed=1e-5, event_cost=1e-5)
+        spec = calibrated_spec(base, cal, keep_ratios=False)
+        assert spec.event_cost == pytest.approx(1e-5)
+        assert spec.msg_latency == base.msg_latency
+
+    def test_modeled_time_predicts_real_runtime(self, pipeadd, pipeadd_circuit):
+        """The point of calibration: modeled sequential wall time equals
+        measured host runtime (same stimulus, by construction)."""
+        import time
+
+        from repro.sim import SequentialSimulator
+
+        events = random_vectors(pipeadd, 20, seed=3)
+        cal = measure_event_cost(pipeadd_circuit, events, repeats=2)
+        spec = calibrated_spec(ClusterSpec(num_machines=1), cal)
+        sim = SequentialSimulator(pipeadd_circuit)
+        sim.add_inputs(events)
+        start = time.perf_counter()
+        stats = sim.run()
+        real = time.perf_counter() - start
+        modeled = stats.gate_evals * spec.event_cost
+        # same machine, same events: within 3x despite scheduler noise
+        assert modeled == pytest.approx(real, rel=2.0)

@@ -1,0 +1,103 @@
+"""Clustering (visible nodes / super-gates) and hypergraph builders."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.hypergraph import Clustering, flat_hypergraph, hierarchy_hypergraph
+
+
+class TestTopLevel:
+    def test_visible_nodes(self, adder4):
+        c = Clustering.top_level(adder4)
+        # 4 fa instances, no top-level gates
+        assert len(c) == 4
+        names = {cl.name for cl in c.clusters}
+        assert names == {"f0", "f1", "f2", "f3"}
+        assert all(cl.weight == 5 for cl in c.clusters)
+
+    def test_mixed_gates_and_instances(self, pipeadd):
+        c = Clustering.top_level(pipeadd)
+        supers = [cl for cl in c.clusters if cl.is_super_gate]
+        singles = [cl for cl in c.clusters if not cl.is_super_gate]
+        assert len(supers) == 4   # fa instances
+        assert len(singles) == 14  # top-level dffr gates
+        assert sum(cl.weight for cl in c.clusters) == pipeadd.num_gates
+
+    def test_gate_cover_exact(self, viterbi_test):
+        c = Clustering.top_level(viterbi_test)
+        gates = sorted(g for cl in c.gate_clusters() for g in cl)
+        assert gates == list(range(viterbi_test.num_gates))
+
+
+class TestFlat:
+    def test_one_gate_per_cluster(self, adder4):
+        c = Clustering.flat(adder4)
+        assert len(c) == adder4.num_gates
+        assert all(cl.weight == 1 for cl in c.clusters)
+        assert not any(cl.is_super_gate for cl in c.clusters)
+
+
+class TestFlatten:
+    def test_flatten_replaces_super_gate(self, adder4):
+        c = Clustering.top_level(adder4)
+        idx = next(i for i, cl in enumerate(c.clusters) if cl.is_super_gate)
+        before_weight = c.clusters[idx].weight
+        c2 = c.flatten(idx)
+        # fa -> 1 'or' gate + 2 ha instances
+        assert len(c2) == len(c) + 2
+        new = c2.clusters[idx : idx + 3]
+        assert sum(cl.weight for cl in new) == before_weight
+        assert sum(cl.weight for cl in c2.clusters) == adder4.num_gates
+
+    def test_flatten_plain_gate_rejected(self, pipeadd):
+        c = Clustering.top_level(pipeadd)
+        idx = next(i for i, cl in enumerate(c.clusters) if not cl.is_super_gate)
+        with pytest.raises(PartitionError, match="plain gate"):
+            c.flatten(idx)
+
+    def test_flatten_to_bottom(self, adder4):
+        c = Clustering.top_level(adder4)
+        while True:
+            idx = c.largest_super_gate()
+            if idx is None:
+                break
+            c = c.flatten(idx)
+        assert len(c) == adder4.num_gates
+
+    def test_largest_super_gate_among(self, pipeadd):
+        c = Clustering.top_level(pipeadd)
+        supers = [i for i, cl in enumerate(c.clusters) if cl.is_super_gate]
+        assert c.largest_super_gate(among=supers[:1]) == supers[0]
+        singles = [i for i, cl in enumerate(c.clusters) if not cl.is_super_gate]
+        assert c.largest_super_gate(among=singles) is None
+
+
+class TestHypergraphs:
+    def test_hierarchy_smaller_than_flat(self, viterbi_test):
+        hh = hierarchy_hypergraph(viterbi_test)
+        fh = flat_hypergraph(viterbi_test)
+        assert hh.num_vertices < fh.num_vertices
+        assert hh.total_weight == fh.total_weight == viterbi_test.num_gates
+
+    def test_hierarchy_edges_are_cross_module_nets(self, adder4):
+        hh = hierarchy_hypergraph(adder4)
+        # only the carry chain crosses fa instances (PI/PO nets touch one)
+        assert hh.num_vertices == 4
+        for e in range(hh.num_edges):
+            assert hh.edge_size(e) >= 2
+
+    def test_flat_edges_match_nets(self, adder4):
+        fh = flat_hypergraph(adder4)
+        assert fh.num_vertices == 20
+        # every multi-gate net appears
+        assert fh.num_edges > 0
+
+    def test_hypergraph_cached(self, adder4):
+        c = Clustering.top_level(adder4)
+        assert c.hypergraph() is c.hypergraph()
+
+    def test_incomplete_cover_rejected(self, adder4):
+        from repro.hypergraph.build import Cluster
+
+        with pytest.raises(PartitionError, match="covers"):
+            Clustering(adder4, [Cluster("only", (0,), 1)])

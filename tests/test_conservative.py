@@ -1,0 +1,86 @@
+"""Idealized conservative engine mode: zero rollbacks, exact results."""
+
+import pytest
+
+from repro.circuits import load_circuit, random_vectors
+from repro.hypergraph import Clustering
+from repro.sim import (
+    ClusterSpec,
+    SequentialSimulator,
+    TimeWarpConfig,
+    TimeWarpEngine,
+    compile_circuit,
+)
+
+
+def run_conservative(netlist, circuit, events, k):
+    clusters = Clustering.top_level(netlist).gate_clusters()
+    lp_machine = [i % k for i in range(len(clusters))]
+    seq = SequentialSimulator(circuit)
+    seq.add_inputs(events)
+    seq.run()
+    eng = TimeWarpEngine(
+        circuit, clusters, lp_machine, ClusterSpec(num_machines=k),
+        TimeWarpConfig(conservative=True, gvt_interval=50),
+    )
+    eng.load_inputs(events)
+    stats = eng.run()
+    eng.verify_against_sequential(seq)
+    assert stats.committed_events == seq.stats.gate_evals
+    return stats
+
+
+class TestConservative:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_equivalence(self, pipeadd, pipeadd_circuit, pipeadd_events, k):
+        stats = run_conservative(pipeadd, pipeadd_circuit, pipeadd_events, k)
+        assert stats.rollbacks == 0
+        assert stats.anti_messages == 0
+        assert stats.processed_events == stats.committed_events
+
+    def test_viterbi_no_rollbacks(self, viterbi_test, viterbi_test_circuit):
+        events = random_vectors(viterbi_test, 15, seed=4)
+        stats = run_conservative(
+            viterbi_test, viterbi_test_circuit, events, 3
+        )
+        assert stats.rollbacks == 0
+
+    def test_no_checkpoint_memory(self, pipeadd, pipeadd_circuit, pipeadd_events):
+        """Rollback-free execution keeps only the initial state."""
+        stats = run_conservative(pipeadd, pipeadd_circuit, pipeadd_events, 2)
+        opt = None
+        # compare with an optimistic run's checkpoint footprint
+        clusters = Clustering.top_level(pipeadd).gate_clusters()
+        lp_machine = [i % 2 for i in range(len(clusters))]
+        eng = TimeWarpEngine(
+            pipeadd_circuit, clusters, lp_machine, ClusterSpec(num_machines=2),
+            TimeWarpConfig(checkpoint_interval=2, gvt_interval=50),
+        )
+        eng.load_inputs(pipeadd_events)
+        opt = eng.run()
+        assert stats.peak_checkpoint_bytes <= opt.peak_checkpoint_bytes
+
+    def test_optimism_usually_wins_with_latency(
+        self, viterbi_test, viterbi_test_circuit
+    ):
+        """With real message latency, Time Warp overlaps waiting with
+        speculative work; the conservative bound stalls on it.  (This is
+        the core argument for optimistic gate-level simulation.)"""
+        events = random_vectors(viterbi_test, 15, seed=4)
+        clusters = Clustering.top_level(viterbi_test).gate_clusters()
+        lp_machine = [i % 3 for i in range(len(clusters))]
+        walls = {}
+        for conservative in (False, True):
+            seq = SequentialSimulator(viterbi_test_circuit)
+            seq.add_inputs(events)
+            seq.run()
+            eng = TimeWarpEngine(
+                viterbi_test_circuit, clusters, lp_machine,
+                ClusterSpec(num_machines=3),
+                TimeWarpConfig(conservative=conservative, gvt_interval=50),
+            )
+            eng.load_inputs(events)
+            stats = eng.run()
+            eng.verify_against_sequential(seq)
+            walls[conservative] = stats.wall_time
+        assert walls[False] < walls[True]

@@ -1,0 +1,306 @@
+"""Elaboration tests: hierarchy, binding, constants, error paths."""
+
+import pytest
+
+from repro.errors import ElaborationError
+from repro.verilog import (
+    CONST0,
+    CONST1,
+    CONSTX,
+    NetlistBuilder,
+    compile_verilog,
+    elaborate,
+    find_top_module,
+    parse_source,
+)
+
+
+class TestTopDetection:
+    def test_unique_top(self):
+        src = parse_source(
+            "module a (); b u (); endmodule module b (); endmodule"
+        )
+        assert find_top_module(src) == "a"
+
+    def test_ambiguous_top(self):
+        src = parse_source("module a (); endmodule module b (); endmodule")
+        with pytest.raises(ElaborationError, match="ambiguous"):
+            find_top_module(src)
+
+    def test_explicit_top_overrides(self):
+        nl = compile_verilog(
+            "module a (); endmodule module b (); wire y, x; not (y, x); endmodule",
+            top="b",
+        )
+        assert nl.top == "b"
+        assert nl.num_gates == 1
+
+    def test_unknown_top(self):
+        with pytest.raises(ElaborationError, match="not defined"):
+            compile_verilog("module a (); endmodule", top="zzz")
+
+
+class TestBinding:
+    def test_positional_and_named_agree(self):
+        base = """
+        module inv (y, a); output y; input a; not (y, a); endmodule
+        """
+        pos = compile_verilog(base + "module t (o, i); output o; input i; inv u (o, i); endmodule")
+        nam = compile_verilog(base + "module t (o, i); output o; input i; inv u (.a(i), .y(o)); endmodule")
+        assert pos.num_gates == nam.num_gates == 1
+        g = nam.gates[0]
+        assert g.inputs[0] in nam.inputs
+        assert g.output in nam.outputs
+
+    def test_vector_port_binding(self):
+        nl = compile_verilog(
+            """
+            module reg2 (q, d); output [1:0] q; input [1:0] d;
+              buf (q[0], d[0]); buf (q[1], d[1]);
+            endmodule
+            module t (o, i); output [1:0] o; input [1:0] i;
+              reg2 u (.q(o), .d(i));
+            endmodule
+            """
+        )
+        assert nl.num_gates == 2
+        assert len(nl.inputs) == 2
+        assert len(nl.outputs) == 2
+
+    def test_concat_binding(self):
+        nl = compile_verilog(
+            """
+            module pass2 (o, i); output [1:0] o; input [1:0] i;
+              buf (o[0], i[0]); buf (o[1], i[1]);
+            endmodule
+            module t (o, a, b); output [1:0] o; input a, b;
+              pass2 u (.o(o), .i({b, a}));
+            endmodule
+            """
+        )
+        # concat is MSB-first: i[0] <- a, i[1] <- b
+        g_by_out = {g.output: g for g in nl.gates}
+        o0 = nl.outputs[0]
+        a = nl.inputs[0]
+        assert g_by_out[o0].inputs[0] == a
+
+    def test_width_mismatch(self):
+        with pytest.raises(ElaborationError, match="width mismatch"):
+            compile_verilog(
+                """
+                module s (i); input [3:0] i; endmodule
+                module t (a); input a; s u (.i(a)); endmodule
+                """
+            )
+
+    def test_unknown_port(self):
+        with pytest.raises(ElaborationError, match="no port"):
+            compile_verilog(
+                """
+                module s (i); input i; endmodule
+                module t (a); input a; s u (.zz(a)); endmodule
+                """
+            )
+
+    def test_port_connected_twice(self):
+        with pytest.raises(ElaborationError, match="twice"):
+            compile_verilog(
+                """
+                module s (i); input i; endmodule
+                module t (a); input a; s u (.i(a), .i(a)); endmodule
+                """
+            )
+
+    def test_too_many_positional(self):
+        with pytest.raises(ElaborationError, match="connections"):
+            compile_verilog(
+                """
+                module s (i); input i; endmodule
+                module t (a); input a; s u (a, a); endmodule
+                """
+            )
+
+    def test_unconnected_input_reads_x(self):
+        nl = compile_verilog(
+            """
+            module s (o, i); output o; input i; buf (o, i); endmodule
+            module t (o); output o; s u (.o(o), .i()); endmodule
+            """
+        )
+        assert nl.gates[0].inputs[0] == CONSTX
+
+    def test_undefined_module(self):
+        with pytest.raises(ElaborationError, match="not defined"):
+            compile_verilog("module t (); nosuch u (); endmodule")
+
+    def test_recursive_instantiation_detected(self):
+        with pytest.raises(ElaborationError, match="deeper"):
+            compile_verilog(
+                "module a (); a u (); endmodule", top="a"
+            )
+
+
+class TestConstantsAndAliases:
+    def test_literal_connection(self):
+        nl = compile_verilog(
+            """
+            module s (o, i); output o; input i; buf (o, i); endmodule
+            module t (o); output o; s u (.o(o), .i(1'b1)); endmodule
+            """
+        )
+        assert nl.gates[0].inputs[0] == CONST1
+
+    def test_supply_nets(self):
+        nl = compile_verilog(
+            """
+            module t (o); output o;
+              supply0 gnd; supply1 vdd;
+              and (o, vdd, gnd);
+            endmodule
+            """
+        )
+        assert set(nl.gates[0].inputs) == {CONST0, CONST1}
+
+    def test_assign_alias_merges_nets(self):
+        nl = compile_verilog(
+            """
+            module t (o, i); output o; input i;
+              wire mid;
+              assign mid = i;
+              buf (o, mid);
+            endmodule
+            """
+        )
+        assert nl.gates[0].inputs[0] in nl.inputs
+
+    def test_assign_width_mismatch(self):
+        with pytest.raises(ElaborationError, match="width mismatch"):
+            compile_verilog(
+                "module t (); wire [1:0] a; wire b; assign a = b; endmodule"
+            )
+
+    def test_input_tied_to_constant_rejected(self):
+        with pytest.raises(ElaborationError, match="constant"):
+            compile_verilog(
+                "module t (i); input i; assign i = 1'b0; endmodule"
+            )
+
+    def test_implicit_scalar_wire(self):
+        nl = compile_verilog(
+            "module t (o, i); output o; input i; buf (o, undeclared); buf (undeclared, i); endmodule"
+        )
+        assert nl.num_gates == 2
+
+    def test_gate_terminal_must_be_scalar(self):
+        with pytest.raises(ElaborationError, match="scalar"):
+            compile_verilog(
+                "module t (); wire [1:0] v; wire y; buf (y, v); endmodule"
+            )
+
+    def test_multiple_drivers_rejected(self):
+        from repro.errors import NetlistError
+
+        with pytest.raises(NetlistError, match="driven by both"):
+            compile_verilog(
+                "module t (a, b); input a, b; wire y; buf (y, a); buf (y, b); endmodule"
+            )
+
+
+class TestHierarchyTree:
+    def test_paths_and_counts(self, adder4):
+        root = adder4.hierarchy
+        assert root.module == "top"
+        assert set(root.children) == {"f0", "f1", "f2", "f3"}
+        f0 = root.children["f0"]
+        assert f0.module == "fa"
+        assert set(f0.children) == {"u1", "u2"}
+        assert f0.total_gates == 5
+        assert root.total_gates == 20
+
+    def test_subtree_gates_cover(self, adder4):
+        all_gates = sorted(adder4.hierarchy.subtree_gates())
+        assert all_gates == list(range(adder4.num_gates))
+
+    def test_find(self, adder4):
+        node = adder4.hierarchy.find(("f1", "u2"))
+        assert node.module == "ha"
+        assert len(node.gate_ids) == 2
+
+    def test_gate_paths_match_tree(self, adder4):
+        for gate in adder4.gates:
+            node = adder4.hierarchy.find(gate.path)
+            assert gate.gid in node.gate_ids
+
+
+class TestNetlistBuilder:
+    def test_basic(self):
+        nb = NetlistBuilder("toy")
+        a, b = nb.input("a"), nb.input("b")
+        y = nb.net("y")
+        nb.gate("nand", (a, b), y)
+        nb.output_net(y)
+        nl = nb.build()
+        assert nl.num_gates == 1
+        assert nl.inputs == [a, b]
+        assert nl.outputs == [y]
+
+    def test_inputs_recorded(self):
+        nb = NetlistBuilder("toy")
+        a, b = nb.input("a"), nb.input("b")
+        y = nb.net()
+        nb.gate("or", (a, b), y)
+        nl = nb.build()
+        assert nl.inputs == [a, b]
+
+    def test_path_creates_hierarchy(self):
+        nb = NetlistBuilder("toy")
+        a = nb.input("a")
+        y = nb.net()
+        nb.gate("not", (a,), y, path=("sub",))
+        nl = nb.build()
+        assert "sub" in nl.hierarchy.children
+        assert nl.hierarchy.children["sub"].total_gates == 1
+
+    def test_arity_check(self):
+        nb = NetlistBuilder("toy")
+        a = nb.input("a")
+        y = nb.net()
+        with pytest.raises(ElaborationError):
+            nb.gate("and", (a,), y)
+
+    def test_double_build_rejected(self):
+        nb = NetlistBuilder("toy")
+        nb.build()
+        with pytest.raises(ElaborationError, match="twice"):
+            nb.build()
+
+    def test_dff_helper(self):
+        nb = NetlistBuilder("toy")
+        d, clk = nb.input("d"), nb.input("clk")
+        q = nb.net("q")
+        nb.dff(d, clk, q)
+        nl = nb.build()
+        assert nl.gates[0].gtype == "dff"
+
+
+class TestNetNames:
+    def test_shortest_name_wins(self):
+        nl = compile_verilog(
+            """
+            module s (o, i); output o; input i; buf (o, i); endmodule
+            module t (out, inp); output out; input inp;
+              s u (.o(out), .i(inp));
+            endmodule
+            """
+        )
+        # the port alias group {inp, u.i} picks the shortest name
+        in_name = nl.net_name(nl.inputs[0])
+        assert in_name == "inp"
+
+    def test_undriven_detection(self):
+        nl = compile_verilog(
+            "module t (o); output o; wire dangling; buf (o, dangling); endmodule"
+        )
+        undriven = nl.undriven_nets()
+        assert len(undriven) == 1
+        assert nl.net_name(undriven[0]) == "dangling"

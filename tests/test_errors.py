@@ -1,0 +1,43 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    ElaborationError,
+    HypergraphError,
+    LexError,
+    NetlistError,
+    ParseError,
+    PartitionError,
+    ReproError,
+    SimulationError,
+    VerilogError,
+)
+
+
+def test_everything_derives_from_repro_error():
+    for exc in (
+        VerilogError, LexError, ParseError, ElaborationError, NetlistError,
+        HypergraphError, PartitionError, SimulationError, ConfigError,
+    ):
+        assert issubclass(exc, ReproError)
+
+
+def test_front_end_errors_are_verilog_errors():
+    for exc in (LexError, ParseError, ElaborationError):
+        assert issubclass(exc, VerilogError)
+
+
+def test_positional_errors_carry_location():
+    err = LexError("bad char", 3, 7)
+    assert err.line == 3 and err.column == 7
+    assert "line 3" in str(err)
+    err = ParseError("bad token", 2, 1)
+    assert err.line == 2
+    assert "column 1" in str(err)
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(ReproError):
+        raise PartitionError("nope")

@@ -1,0 +1,100 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.verilog.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_keywords_vs_idents(self):
+        toks = tokenize("module foo endmodule")
+        assert [t.kind for t in toks[:-1]] == ["keyword", "ident", "keyword"]
+
+    def test_punctuation(self):
+        assert kinds("( ) [ ] { } , ; : = . #")[:-1] == [
+            "(", ")", "[", "]", "{", "}", ",", ";", ":", "=", ".", "#",
+        ]
+
+    def test_plain_number(self):
+        toks = tokenize("42")
+        assert toks[0].kind == "number"
+        assert toks[0].value == "42"
+
+    def test_underscore_in_number(self):
+        assert tokenize("1_000")[0].value == "1000"
+
+    def test_sized_binary(self):
+        t = tokenize("4'b10x1")[0]
+        assert t.kind == "sized_number"
+        assert t.value == "4'b10x1"
+
+    def test_sized_hex(self):
+        assert tokenize("8'hFF")[0].kind == "sized_number"
+
+    def test_unsized_based(self):
+        assert tokenize("'b0")[0].kind == "sized_number"
+
+    def test_signed_literal(self):
+        assert tokenize("4'sb1010")[0].kind == "sized_number"
+
+    def test_identifier_with_dollar(self):
+        assert tokenize("a$b")[0].value == "a$b"
+
+    def test_escaped_identifier(self):
+        toks = tokenize("\\foo.bar[3] baz")
+        assert toks[0].kind == "ident"
+        assert toks[0].value == "foo.bar[3]"
+        assert toks[1].value == "baz"
+
+    def test_line_comment(self):
+        assert values("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* many\nlines */ b") == ["a", "b"]
+
+    def test_directive_skipped(self):
+        assert values("`timescale 1ns/1ps\nmodule") == ["module"]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_positions(self):
+        toks = tokenize("ab\n  cd")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+
+class TestLexErrors:
+    def test_unknown_char(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("/* never closed")
+
+    def test_empty_escaped_identifier(self):
+        with pytest.raises(LexError, match="empty escaped"):
+            tokenize("\\ foo")
+
+    def test_malformed_based_literal(self):
+        with pytest.raises(LexError, match="malformed"):
+            tokenize("4'q0")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("ab\n  @")
+        except LexError as e:
+            assert e.line == 2
+            assert e.column == 3
+        else:  # pragma: no cover
+            pytest.fail("expected LexError")

@@ -1,0 +1,89 @@
+"""Three-valued gate evaluation: exhaustive truth-table checks."""
+
+import itertools
+
+import pytest
+
+from repro.sim.logic import (
+    GATE_CODES,
+    V0,
+    V1,
+    VX,
+    eval_gate,
+    eval_gate_coded,
+    invert,
+    value_name,
+)
+
+
+def known(v):
+    return v in (V0, V1)
+
+
+def model(gtype, values):
+    """Reference semantics: enumerate all completions of X inputs.
+
+    If every completion agrees, that is the output; otherwise X.  This
+    is the *exact* (not pessimistic) three-valued semantics.
+    """
+    import itertools as it
+
+    ops = {
+        "and": lambda vs: int(all(vs)),
+        "or": lambda vs: int(any(vs)),
+        "nand": lambda vs: 1 - int(all(vs)),
+        "nor": lambda vs: 1 - int(any(vs)),
+        "xor": lambda vs: sum(vs) % 2,
+        "xnor": lambda vs: 1 - sum(vs) % 2,
+        "buf": lambda vs: vs[0],
+        "not": lambda vs: 1 - vs[0],
+    }
+    slots = [(0, 1) if v == VX else (v,) for v in values]
+    results = {ops[gtype](c) for c in it.product(*slots)}
+    return results.pop() if len(results) == 1 else VX
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize("gtype", ["and", "or", "nand", "nor", "xor", "xnor"])
+    def test_two_input_exhaustive(self, gtype):
+        for a, b in itertools.product((V0, V1, VX), repeat=2):
+            assert eval_gate(gtype, [a, b]) == model(gtype, [a, b]), (gtype, a, b)
+
+    @pytest.mark.parametrize("gtype", ["and", "or", "nand", "nor", "xor", "xnor"])
+    def test_three_input_exhaustive(self, gtype):
+        for vals in itertools.product((V0, V1, VX), repeat=3):
+            assert eval_gate(gtype, list(vals)) == model(gtype, list(vals))
+
+    @pytest.mark.parametrize("gtype", ["buf", "not"])
+    def test_unary(self, gtype):
+        for v in (V0, V1, VX):
+            assert eval_gate(gtype, [v]) == model(gtype, [v])
+
+    def test_controlling_inputs_beat_x(self):
+        assert eval_gate("and", [V0, VX]) == V0
+        assert eval_gate("or", [V1, VX]) == V1
+        assert eval_gate("nand", [V0, VX]) == V1
+        assert eval_gate("nor", [V1, VX]) == V0
+
+    def test_xor_with_x_is_x(self):
+        assert eval_gate("xor", [V1, VX]) == VX
+        assert eval_gate("xnor", [V0, VX]) == VX
+
+    def test_invert(self):
+        assert invert(V0) == V1
+        assert invert(V1) == V0
+        assert invert(VX) == VX
+
+    def test_coded_matches_named(self):
+        for gtype in ("and", "or", "nand", "nor", "xor", "xnor"):
+            for a, b in itertools.product((V0, V1, VX), repeat=2):
+                assert eval_gate(gtype, [a, b]) == eval_gate_coded(
+                    GATE_CODES[gtype], [a, b]
+                )
+
+    def test_value_name(self):
+        assert [value_name(v) for v in (V0, V1, VX)] == ["0", "1", "x"]
+
+    def test_codes_dense(self):
+        codes = sorted(GATE_CODES.values())
+        assert codes == list(range(len(codes)))

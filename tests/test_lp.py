@@ -1,0 +1,202 @@
+"""ClusterLP mechanics: batches, rollback, annihilation, fossil collection."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import compile_circuit
+from repro.sim.events import Message
+from repro.sim.lp import ClusterLP
+from repro.sim.logic import VX
+from repro.verilog import NetlistBuilder
+
+
+def two_lp_fixture():
+    """a --not(g0)--> m --not(g1)--> y, g0 in lp0, g1 in lp1."""
+    nb = NetlistBuilder("t")
+    a = nb.input("a")
+    m = nb.net("m")
+    y = nb.net("y")
+    nb.gate("not", (a,), m, name="g0")
+    nb.gate("not", (m,), y, name="g1")
+    nb.output_net(y)
+    nl = nb.build()
+    cc = compile_circuit(nl)
+    lp0 = ClusterLP(0, cc, [0], checkpoint_interval=1)
+    lp1 = ClusterLP(1, cc, [1], checkpoint_interval=1)
+    lp0.out_dests[m] = (1,)
+    return nl, cc, lp0, lp1, a, m, y
+
+
+def env_msg(net, value, t, uid, dst=0):
+    return Message(recv_time=t, net=net, value=value, src_lp=-1,
+                   dst_lp=dst, send_time=t - 1, uid=uid)
+
+
+class TestBatches:
+    def test_no_work_raises(self):
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        with pytest.raises(SimulationError, match="no work"):
+            lp0.execute_batch()
+
+    def test_batch_produces_boundary_send(self):
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        lp0.insert_positive(env_msg(a, 1, 0, 0))
+        res = lp0.execute_batch()
+        assert res.vt == 0
+        assert res.gate_evals == 1
+        assert len(res.sends) == 1
+        msg = res.sends[0]
+        assert (msg.net, msg.value, msg.recv_time, msg.dst_lp) == (m, 0, 1, 1)
+
+    def test_local_value_tracks(self):
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        lp0.insert_positive(env_msg(a, 1, 0, 0))
+        lp0.execute_batch()  # t=0: evaluates g0, schedules m@1
+        lp0.execute_batch()  # t=1: applies m=0 locally
+        assert lp0.local_value(m) == 0
+        assert lp0.local_value(a) == 1
+        assert lp0.next_pending_vt() is None
+
+    def test_swallowed_change_sends_nothing(self):
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        lp0.insert_positive(env_msg(a, 1, 0, 0))
+        lp0.execute_batch()
+        lp0.execute_batch()
+        # drive the same value again: gate output unchanged, no message
+        lp0.insert_positive(env_msg(a, 1, 4, 1))
+        res = lp0.execute_batch()
+        assert res.gate_evals == 0
+        assert res.sends == []
+
+    def test_message_filter_tracks_committed_change_stream(self):
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        # a: X->0 at 0 => m: X->1, a: 0->1 at 4 => m: 1->0
+        lp0.insert_positive(env_msg(a, 0, 0, 0))
+        lp0.insert_positive(env_msg(a, 1, 4, 1))
+        sent = []
+        while lp0.next_pending_vt() is not None:
+            sent += lp0.execute_batch().sends
+        assert [(s.recv_time, s.value) for s in sent] == [(1, 1), (5, 0)]
+
+
+class TestRollback:
+    def test_straggler_triggers_rollback(self):
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        lp0.insert_positive(env_msg(a, 1, 0, 0))
+        while lp0.next_pending_vt() is not None:
+            lp0.execute_batch()
+        assert lp0.lvt == 1
+        rb = lp0.insert_positive(env_msg(a, 0, 1, 1))
+        assert rb is not None
+        assert rb.restored_to < 1
+        assert lp0.lvt == rb.restored_to
+
+    def test_rollback_restores_values(self):
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        lp0.insert_positive(env_msg(a, 1, 0, 0))
+        lp0.execute_batch()
+        lp0.execute_batch()
+        assert lp0.local_value(m) == 0
+        lp0.insert_positive(env_msg(a, 0, 1, 1))  # straggler at t=1
+        # re-execute: now a goes 1 at 0 then 0 at 1
+        while lp0.next_pending_vt() is not None:
+            lp0.execute_batch()
+        assert lp0.local_value(a) == 0
+        assert lp0.local_value(m) == 1
+
+    def test_future_message_no_rollback(self):
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        lp0.insert_positive(env_msg(a, 1, 0, 0))
+        lp0.execute_batch()
+        assert lp0.insert_positive(env_msg(a, 0, 5, 1)) is None
+
+    def test_unconfirmed_buffer_suppresses_identical_resend(self):
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        lp0.insert_positive(env_msg(a, 1, 0, 0))
+        sends = []
+        while lp0.next_pending_vt() is not None:
+            sends += lp0.execute_batch().sends
+        assert len(sends) == 1
+        # a straggler at t=3 does not affect the batch at t=0;
+        # its send moves to the unconfirmed buffer...
+        lp0.insert_positive(env_msg(a, 0, 3, 1))
+        # ...but lvt was 1 < 3 so no rollback happened at all here;
+        # force one with a straggler at t=1 instead
+        rb = lp0.insert_positive(env_msg(a, 1, 1, 2))
+        assert rb is not None
+        resends = []
+        while lp0.next_pending_vt() is not None:
+            resends += lp0.execute_batch().sends
+        # batch at t=0 re-emits m=0@1 identically: suppressed.
+        # later batches emit the genuinely new changes.
+        assert all(s.recv_time != 1 for s in resends)
+
+    def test_anti_message_annihilates_unprocessed(self):
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        msg = Message(recv_time=3, net=m, value=1, src_lp=0, dst_lp=1,
+                      send_time=2, uid=9)
+        lp1.insert_positive(msg)
+        assert lp1.next_pending_vt() == 3
+        lp1.insert_anti(msg.anti())
+        assert lp1.next_pending_vt() is None
+
+    def test_anti_message_rolls_back_processed(self):
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        msg = Message(recv_time=3, net=m, value=1, src_lp=0, dst_lp=1,
+                      send_time=2, uid=9)
+        lp1.insert_positive(msg)
+        while lp1.next_pending_vt() is not None:
+            lp1.execute_batch()
+        assert lp1.lvt >= 3
+        rb = lp1.insert_anti(msg.anti())
+        assert rb is not None
+        assert lp1.next_pending_vt() is None  # the event is gone
+
+    def test_anti_before_positive_annihilates_on_arrival(self):
+        """Reordered channels (LP migration): the anti parks until its
+        twin arrives, then both vanish without any event surviving."""
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        pos = Message(recv_time=3, net=m, value=1, src_lp=0, dst_lp=1,
+                      send_time=2, uid=77)
+        lp1.insert_anti(pos.anti())
+        assert lp1.next_pending_vt() is None
+        assert lp1.insert_positive(pos) is None
+        assert lp1.next_pending_vt() is None  # annihilated in flight
+
+
+class TestFossil:
+    def test_fossil_keeps_restore_point(self):
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        for i, t in enumerate(range(0, 40, 4)):
+            lp0.insert_positive(env_msg(a, (i % 2), t, i))
+        while lp0.next_pending_vt() is not None:
+            lp0.execute_batch()
+        bytes_before = lp0.checkpoint_bytes()
+        lp0.fossil_collect(gvt=30)
+        assert lp0.checkpoint_bytes() < bytes_before
+        # a straggler just above GVT must still be restorable
+        rb = lp0.insert_positive(env_msg(a, 1, 31, 99))
+        assert rb is not None
+
+    def test_fossil_drops_old_inputs(self):
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        for i, t in enumerate(range(0, 20, 4)):
+            lp0.insert_positive(env_msg(a, (i % 2), t, i))
+        while lp0.next_pending_vt() is not None:
+            lp0.execute_batch()
+        n_before = len(lp0._in_msgs)
+        lp0.fossil_collect(gvt=100)
+        assert len(lp0._in_msgs) < n_before
+
+
+class TestConstruction:
+    def test_gate_clusters_and_nets(self):
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        assert lp0.has_net(a) and lp0.has_net(m)
+        assert not lp0.has_net(y)
+        assert lp1.has_net(m) and lp1.has_net(y)
+
+    def test_initial_values_are_x(self):
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        assert lp0.local_value(a) == VX
+        assert lp0.local_value(m) == VX

@@ -1,0 +1,90 @@
+"""Pairing strategies (paper §3.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PAIRING_STRATEGIES, estimate_pair_gain, pairing_strategy
+from repro.errors import ConfigError
+from repro.hypergraph import Hypergraph, PartitionState
+
+
+def state_k4():
+    # two cliques-ish groups per part pair with cross edges
+    edges = [[0, 1], [2, 3], [4, 5], [6, 7], [0, 2], [0, 4], [1, 6], [3, 5]]
+    hg = Hypergraph.from_edges([1] * 8, edges)
+    return PartitionState(hg, 4, [0, 0, 1, 1, 2, 2, 3, 3])
+
+
+class TestStrategies:
+    def test_lookup(self):
+        for name in ("random", "exhaustive", "cut", "gain"):
+            assert pairing_strategy(name) is PAIRING_STRATEGIES[name]
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError, match="unknown pairing"):
+            pairing_strategy("nope")
+
+    @pytest.mark.parametrize("name", ["random", "cut", "gain"])
+    def test_disjoint_pairs(self, name):
+        state = state_k4()
+        rng = np.random.default_rng(0)
+        pairs = pairing_strategy(name)(state, rng)
+        seen = [p for ab in pairs for p in ab]
+        assert len(seen) == len(set(seen))
+        for a, b in pairs:
+            assert 0 <= a < b < state.k
+
+    def test_exhaustive_lists_all(self):
+        state = state_k4()
+        rng = np.random.default_rng(0)
+        pairs = pairing_strategy("exhaustive")(state, rng)
+        assert len(pairs) == 6  # C(4,2)
+        assert len(set(pairs)) == 6
+
+    def test_cut_based_prefers_heaviest(self):
+        state = state_k4()
+        rng = np.random.default_rng(0)
+        pairs = pairing_strategy("cut")(state, rng)
+        matrix = state.pair_cut_matrix()
+        first = pairs[0]
+        assert matrix[first] == matrix.max()
+
+    def test_cut_based_skips_unconnected(self):
+        hg = Hypergraph.from_edges([1, 1, 1, 1], [[0, 1]])
+        state = PartitionState(hg, 4, [0, 1, 2, 3])
+        pairs = pairing_strategy("cut")(state, np.random.default_rng(0))
+        assert pairs == [(0, 1)]
+
+    def test_random_is_seed_deterministic(self):
+        state = state_k4()
+        p1 = pairing_strategy("random")(state, np.random.default_rng(7))
+        p2 = pairing_strategy("random")(state, np.random.default_rng(7))
+        assert p1 == p2
+
+    def test_odd_k_random_leaves_one_out(self):
+        hg = Hypergraph.from_edges([1, 1, 1], [[0, 1], [1, 2]])
+        state = PartitionState(hg, 3, [0, 1, 2])
+        pairs = pairing_strategy("random")(state, np.random.default_rng(1))
+        assert len(pairs) == 1
+
+
+class TestGainEstimate:
+    def test_zero_when_no_shared_edges(self):
+        hg = Hypergraph.from_edges([1, 1, 1, 1], [[0, 1], [2, 3]])
+        state = PartitionState(hg, 4, [0, 0, 2, 3])
+        assert estimate_pair_gain(state, 0, 1) == 0
+
+    def test_positive_when_improvable(self):
+        # v1 sits alone across the boundary: moving it gains 1
+        hg = Hypergraph.from_edges([1, 1, 1], [[0, 1], [1, 2]])
+        state = PartitionState(hg, 2, [0, 1, 0])
+        assert estimate_pair_gain(state, 0, 1) > 0
+
+    def test_gain_pairs_rank_by_estimate(self):
+        state = state_k4()
+        rng = np.random.default_rng(0)
+        pairs = pairing_strategy("gain")(state, rng)
+        if len(pairs) >= 2:
+            g0 = estimate_pair_gain(state, *pairs[0])
+            g1 = estimate_pair_gain(state, *pairs[1])
+            assert g0 >= g1

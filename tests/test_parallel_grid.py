@@ -1,0 +1,43 @@
+"""Process-parallel (k, b) sweep: identical results, any worker count."""
+
+import os
+
+import pytest
+
+from repro.bench import run_presim_grid
+from repro.circuits import circuit_source
+
+SOURCE = circuit_source("viterbi-test")
+KS = (2, 3)
+BS = (7.5, 15.0)
+
+
+@pytest.fixture(scope="module")
+def serial_rows():
+    return run_presim_grid(SOURCE, ks=KS, bs=BS, n_vectors=8, seed=1, workers=1)
+
+
+class TestGrid:
+    def test_serial_shape(self, serial_rows):
+        assert [(c.k, c.b) for c in serial_rows] == [
+            (k, b) for k in KS for b in BS
+        ]
+        for c in serial_rows:
+            assert c.cut_size >= 0
+            assert c.sim_time > 0
+
+    def test_workers_none_equals_one(self, serial_rows):
+        again = run_presim_grid(SOURCE, ks=KS, bs=BS, n_vectors=8, seed=1)
+        assert again == serial_rows
+
+    @pytest.mark.skipif(os.cpu_count() is None or os.cpu_count() < 2,
+                        reason="needs >= 2 cores")
+    def test_parallel_matches_serial(self, serial_rows):
+        parallel = run_presim_grid(
+            SOURCE, ks=KS, bs=BS, n_vectors=8, seed=1, workers=2
+        )
+        assert parallel == serial_rows
+
+    def test_seed_changes_results(self, serial_rows):
+        other = run_presim_grid(SOURCE, ks=KS, bs=BS, n_vectors=8, seed=2)
+        assert other != serial_rows

@@ -1,0 +1,151 @@
+"""Partition persistence: JSON round trip + integrity checks."""
+
+import io
+import json
+
+import pytest
+
+from repro.circuits import random_vectors
+from repro.core import (
+    design_driven_partition,
+    dumps_partition,
+    load_partition,
+    loads_partition,
+    save_partition,
+)
+from repro.errors import PartitionError
+from repro.verilog import compile_verilog
+
+
+@pytest.fixture()
+def partition(viterbi_test):
+    return design_driven_partition(viterbi_test, k=3, b=10.0, seed=1)
+
+
+class TestRoundTrip:
+    def test_basic(self, viterbi_test, partition, tmp_path):
+        path = tmp_path / "p.json"
+        save_partition(partition, path)
+        loaded = load_partition(path, viterbi_test)
+        assert loaded.k == partition.k
+        assert loaded.b == partition.b
+        assert loaded.cut_size == partition.cut_size
+        assert loaded.part_weights.tolist() == partition.part_weights.tolist()
+        assert (loaded.gate_assignment() == partition.gate_assignment()).all()
+
+    def test_survives_re_elaboration(self, partition, tmp_path):
+        """Same source recompiled on 'another day' still binds."""
+        from repro.circuits import circuit_source
+
+        fresh = compile_verilog(circuit_source("viterbi-test"))
+        text = dumps_partition(partition)
+        loaded = loads_partition(text, fresh)
+        assert loaded.cut_size == partition.cut_size
+
+    def test_simulatable_after_load(self, viterbi_test, partition, tmp_path):
+        from repro.sim import ClusterSpec, compile_circuit, run_partitioned
+
+        loaded = loads_partition(dumps_partition(partition), viterbi_test)
+        clusters, machines = loaded.to_simulation()
+        report = run_partitioned(
+            compile_circuit(viterbi_test), clusters, machines,
+            random_vectors(viterbi_test, 8, seed=2),
+            ClusterSpec(num_machines=loaded.k),
+        )
+        assert report.verified
+
+    def test_json_is_stable(self, partition):
+        assert dumps_partition(partition) == dumps_partition(partition)
+
+
+class TestValidation:
+    def test_not_json(self, viterbi_test):
+        with pytest.raises(PartitionError, match="not a partition file"):
+            loads_partition("not json {", viterbi_test)
+
+    def test_wrong_format(self, viterbi_test):
+        with pytest.raises(PartitionError, match="not a repro-partition"):
+            loads_partition(json.dumps({"format": "other"}), viterbi_test)
+
+    def test_wrong_version(self, viterbi_test, partition):
+        doc = json.loads(dumps_partition(partition))
+        doc["version"] = 99
+        with pytest.raises(PartitionError, match="version"):
+            loads_partition(json.dumps(doc), viterbi_test)
+
+    def test_wrong_netlist(self, partition, pipeadd):
+        with pytest.raises(PartitionError, match="gates"):
+            loads_partition(dumps_partition(partition), pipeadd)
+
+    def test_unknown_gate_name(self, viterbi_test, partition):
+        doc = json.loads(dumps_partition(partition))
+        doc["clusters"][0]["gates"][0] = "no.such.gate"
+        with pytest.raises(PartitionError, match="no gate named"):
+            loads_partition(json.dumps(doc), viterbi_test)
+
+    def test_partition_out_of_range(self, viterbi_test, partition):
+        doc = json.loads(dumps_partition(partition))
+        doc["clusters"][0]["partition"] = 99
+        with pytest.raises(PartitionError, match="outside"):
+            loads_partition(json.dumps(doc), viterbi_test)
+
+    def test_duplicate_gate(self, viterbi_test, partition):
+        doc = json.loads(dumps_partition(partition))
+        dup = doc["clusters"][0]["gates"][0]
+        doc["clusters"][1]["gates"].append(dup)
+        with pytest.raises(PartitionError, match="two clusters"):
+            loads_partition(json.dumps(doc), viterbi_test)
+
+    def test_incomplete_cover(self, viterbi_test, partition):
+        doc = json.loads(dumps_partition(partition))
+        doc["clusters"][0]["gates"].pop()
+        with pytest.raises(PartitionError):
+            loads_partition(json.dumps(doc), viterbi_test)
+
+
+class TestCliIntegration:
+    def test_save_then_reuse(self, tmp_path):
+        from repro.cli import main
+        from tests.conftest import PIPEADD_SRC
+
+        vfile = tmp_path / "d.v"
+        vfile.write_text(PIPEADD_SRC)
+        pfile = tmp_path / "part.json"
+        out = io.StringIO()
+        assert main(
+            ["partition", str(vfile), "-k", "2", "--save", str(pfile)], out=out
+        ) == 0
+        assert pfile.exists()
+        out = io.StringIO()
+        assert main(
+            ["psim", str(vfile), "--vectors", "8", "--partition", str(pfile)],
+            out=out,
+        ) == 0
+        assert "loaded partition" in out.getvalue()
+        assert "verified        : True" in out.getvalue()
+
+    def test_save_requires_design_algorithm(self, tmp_path):
+        from repro.cli import main
+        from tests.conftest import PIPEADD_SRC
+
+        vfile = tmp_path / "d.v"
+        vfile.write_text(PIPEADD_SRC)
+        code = main(
+            ["partition", str(vfile), "--algorithm", "random",
+             "--save", str(tmp_path / "x.json")],
+            out=io.StringIO(),
+        )
+        assert code == 1
+
+    def test_psim_conservative_flag(self, tmp_path):
+        from repro.cli import main
+        from tests.conftest import PIPEADD_SRC
+
+        vfile = tmp_path / "d.v"
+        vfile.write_text(PIPEADD_SRC)
+        out = io.StringIO()
+        assert main(
+            ["psim", str(vfile), "-k", "2", "--vectors", "8", "--conservative"],
+            out=out,
+        ) == 0
+        assert "rollbacks       : 0 " in out.getvalue()

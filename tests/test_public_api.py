@@ -1,0 +1,71 @@
+"""Public API surface: lazy exports, versioning, depth utility."""
+
+import pytest
+
+import repro
+from repro.sim.compiled import combinational_depth, compile_circuit
+from repro.verilog import compile_verilog
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_lazy_design_driven_export(self):
+        fn = repro.design_driven_partition
+        from repro.core import design_driven_partition
+
+        assert fn is design_driven_partition
+
+    def test_lazy_multilevel_export(self):
+        fn = repro.multilevel_partition
+        from repro.baselines import multilevel_partition
+
+        assert fn is multilevel_partition
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.no_such_symbol
+
+    def test_error_types_exported(self):
+        assert issubclass(repro.ParseError, repro.ReproError)
+
+
+class TestCombinationalDepth:
+    def test_inverter_chain(self):
+        n = 7
+        wires = "".join(f"wire m{i}; " for i in range(n - 1))
+        gates = "not (m0, a); " + "".join(
+            f"not (m{i+1}, m{i}); " for i in range(n - 2)
+        ) + f"not (o, m{n-2});"
+        nl = compile_verilog(
+            f"module t (o, a); output o; input a; {wires} {gates} endmodule"
+        )
+        assert combinational_depth(compile_circuit(nl)) == n
+
+    def test_flipflops_cut_paths(self):
+        nl = compile_verilog(
+            """
+            module t (o, a, clk); output o; input a, clk;
+              wire m1, q, m2;
+              not (m1, a);
+              dff (q, m1, clk);
+              not (m2, q);
+              not (o, m2);
+            endmodule
+            """
+        )
+        # longest purely combinational run: q -> m2 -> o = 2
+        assert combinational_depth(compile_circuit(nl)) == 2
+
+    def test_empty_circuit(self):
+        nl = compile_verilog("module t (a); input a; endmodule")
+        assert combinational_depth(compile_circuit(nl)) == 0
+
+    def test_adder_depth_scales_with_width(self, adder4):
+        from repro.circuits import ripple_adder_verilog
+
+        d4 = combinational_depth(compile_circuit(adder4))
+        nl8 = compile_verilog(ripple_adder_verilog(8, hierarchical=False))
+        d8 = combinational_depth(compile_circuit(nl8))
+        assert d8 > d4 >= 4

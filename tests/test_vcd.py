@@ -1,0 +1,125 @@
+"""VCD waveform writer tests."""
+
+import re
+
+import pytest
+
+from repro.circuits import random_vectors
+from repro.errors import SimulationError
+from repro.sim import InputEvent, SequentialSimulator, compile_circuit
+from repro.sim.vcd import VcdWriter, _id_code
+from repro.verilog import compile_verilog
+
+
+SRC = """
+module t (a, b, y);
+  input a, b; output y;
+  and (y, a, b);
+endmodule
+"""
+
+
+def run_traced(nl, cc, events, nets=None):
+    sim = SequentialSimulator(cc)
+    vcd = VcdWriter(nl, nets=nets)
+    vcd.attach(sim)
+    sim.add_inputs(events)
+    sim.run()
+    return vcd.finish()
+
+
+class TestIdCodes:
+    def test_unique_and_printable(self):
+        codes = [_id_code(i) for i in range(500)]
+        assert len(set(codes)) == 500
+        for c in codes:
+            assert all(33 <= ord(ch) <= 126 for ch in c)
+
+    def test_compact(self):
+        assert len(_id_code(0)) == 1
+        assert len(_id_code(93)) == 1
+        assert len(_id_code(94)) == 2
+
+
+class TestOutput:
+    def test_header_and_definitions(self):
+        nl = compile_verilog(SRC)
+        cc = compile_circuit(nl)
+        text = run_traced(nl, cc, [InputEvent(0, nl.inputs[0], 1)])
+        assert "$timescale 1ns $end" in text
+        assert "$scope module t $end" in text
+        assert text.count("$var wire 1 ") == 3  # a, b, y
+        assert "$enddefinitions $end" in text
+
+    def test_initial_dump_is_x(self):
+        nl = compile_verilog(SRC)
+        cc = compile_circuit(nl)
+        text = run_traced(nl, cc, [])
+        dump = text.split("$dumpvars")[1].split("$end")[0]
+        assert dump.count("x") == 3
+
+    def test_value_changes_recorded(self):
+        nl = compile_verilog(SRC)
+        cc = compile_circuit(nl)
+        a, b = nl.inputs
+        events = [InputEvent(0, a, 1), InputEvent(0, b, 1),
+                  InputEvent(5, b, 0)]
+        text = run_traced(nl, cc, events)
+        # y: x -> 1 at t=1, 1 -> 0 at t=6
+        assert "#1" in text
+        assert "#6" in text
+
+    def test_no_redundant_timestamps(self):
+        nl = compile_verilog(SRC)
+        cc = compile_circuit(nl)
+        text = run_traced(nl, cc, [InputEvent(0, nl.inputs[0], 1)])
+        stamps = re.findall(r"^#(\d+)$", text, re.M)
+        assert len(stamps) == len(set(stamps))
+
+    def test_custom_net_selection(self):
+        nl = compile_verilog(SRC)
+        cc = compile_circuit(nl)
+        text = run_traced(nl, cc, [], nets=[nl.outputs[0]])
+        assert text.count("$var wire 1 ") == 1
+
+    def test_unknown_net_rejected(self):
+        nl = compile_verilog(SRC)
+        with pytest.raises(SimulationError, match="unknown net"):
+            VcdWriter(nl, nets=[9999])
+
+    def test_attach_after_run_rejected(self):
+        nl = compile_verilog(SRC)
+        cc = compile_circuit(nl)
+        sim = SequentialSimulator(cc)
+        sim.add_inputs([InputEvent(0, nl.inputs[0], 1)])
+        sim.run()
+        with pytest.raises(SimulationError, match="before running"):
+            VcdWriter(nl).attach(sim)
+
+    def test_file_output(self, tmp_path, pipeadd, pipeadd_circuit):
+        events = random_vectors(pipeadd, 5, seed=0)
+        sim = SequentialSimulator(pipeadd_circuit)
+        vcd = VcdWriter(pipeadd)
+        vcd.attach(sim)
+        sim.add_inputs(events)
+        sim.run()
+        path = tmp_path / "wave.vcd"
+        vcd.write(path)
+        content = path.read_text()
+        assert content.startswith("$date")
+        # every change line references a declared code
+        codes = set(re.findall(r"\$var wire 1 (\S+) ", content))
+        for line in content.splitlines():
+            m = re.fullmatch(r"[01x](\S+)", line)
+            if m:
+                assert m.group(1) in codes
+
+    def test_finish_idempotent(self):
+        nl = compile_verilog(SRC)
+        cc = compile_circuit(nl)
+        sim = SequentialSimulator(cc)
+        vcd = VcdWriter(nl)
+        vcd.attach(sim)
+        sim.add_inputs([InputEvent(0, nl.inputs[0], 0)])
+        sim.run()
+        assert vcd.finish() == vcd.finish()

@@ -1,0 +1,81 @@
+"""Stimulus generation: schedules, clock detection, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import VectorSchedule, detect_clocks, random_vectors, vector_events
+from repro.errors import ConfigError
+from repro.sim.events import InputEvent
+
+
+class TestSchedule:
+    def test_defaults_resolve(self):
+        period, rise, fall = VectorSchedule().resolved()
+        assert 0 < rise < fall < period
+
+    def test_too_short_period(self):
+        with pytest.raises(ConfigError, match="period"):
+            VectorSchedule(period=2).resolved()
+
+    def test_bad_offsets(self):
+        with pytest.raises(ConfigError, match="offsets"):
+            VectorSchedule(period=16, rise=10, fall=5).resolved()
+
+
+class TestClockDetection:
+    def test_finds_ff_clock(self, pipeadd):
+        clocks = detect_clocks(pipeadd)
+        assert len(clocks) == 1
+        assert pipeadd.net_name(clocks[0]) == "clk"
+
+    def test_combinational_has_none(self, adder4):
+        assert detect_clocks(adder4) == []
+
+
+class TestVectorEvents:
+    def test_layout(self):
+        bits = np.array([[1, 0], [0, 1]], dtype=np.int8)
+        evs = list(
+            vector_events([10, 11], bits, clock_nets=[5],
+                          schedule=VectorSchedule(period=8))
+        )
+        # per vector: 2 data + clock rise + clock fall
+        assert len(evs) == 8
+        assert evs[0] == InputEvent(0, 10, 1)
+        rises = [e for e in evs if e.net == 5 and e.value == 1]
+        assert [e.time for e in rises] == [4, 12]
+
+    def test_shape_mismatch(self):
+        bits = np.zeros((2, 3), dtype=np.int8)
+        with pytest.raises(ConfigError, match="does not match"):
+            list(vector_events([1, 2], bits))
+
+
+class TestRandomVectors:
+    def test_deterministic(self, pipeadd):
+        a = random_vectors(pipeadd, 5, seed=3)
+        b = random_vectors(pipeadd, 5, seed=3)
+        assert a == b
+
+    def test_seed_changes_data(self, pipeadd):
+        a = random_vectors(pipeadd, 5, seed=3)
+        b = random_vectors(pipeadd, 5, seed=4)
+        assert a != b
+
+    def test_sorted_by_time(self, pipeadd):
+        evs = random_vectors(pipeadd, 10, seed=0)
+        times = [e.time for e in evs]
+        assert times == sorted(times)
+
+    def test_clock_driven_regularly(self, pipeadd):
+        evs = random_vectors(pipeadd, 4, seed=0)
+        clk = detect_clocks(pipeadd)[0]
+        clk_events = [e for e in evs if e.net == clk]
+        # initial 0 + (rise + fall) per vector
+        assert len(clk_events) == 1 + 2 * 4
+
+    def test_data_covers_all_noncclock_inputs(self, pipeadd):
+        evs = random_vectors(pipeadd, 1, seed=0)
+        clk = set(detect_clocks(pipeadd))
+        data_nets = {e.net for e in evs if e.time == 0} - clk
+        assert data_nets == set(pipeadd.inputs) - clk
