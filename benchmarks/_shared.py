@@ -10,6 +10,8 @@ under ``benchmarks/out/`` so results survive the run.
 from __future__ import annotations
 
 import functools
+import re
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.bench import (
@@ -19,6 +21,7 @@ from repro.bench import (
     table3_presim,
     table5_full_sim,
 )
+from repro.obs import metrics_document, write_metrics
 
 #: the benchmark workload: a single scaled Viterbi decoder — one
 #: decoder like the paper's (no trivially separable channels), with the
@@ -33,12 +36,65 @@ CFG = ExperimentConfig(
 OUT_DIR = Path(__file__).parent / "out"
 
 
-def emit(name: str, text: str) -> None:
-    """Print a result block and persist it under benchmarks/out/."""
+def emit(
+    name: str,
+    text: str,
+    *,
+    params: dict | None = None,
+    counters: dict | None = None,
+    rows: list[dict] | None = None,
+    series: dict[str, list] | None = None,
+) -> None:
+    """Print a result block and persist it under benchmarks/out/.
+
+    The text lands in ``<name>.txt`` as before; when any of ``params``
+    / ``counters`` / ``rows`` / ``series`` is given, a schema-validated
+    metrics document (see :mod:`repro.obs.metrics`) is written next to
+    it as ``BENCH_<name>.json``.  Everything but the ``generated_at``
+    stamp is deterministic for a fixed seed, so
+    ``make_experiments_md.py --check`` can diff reruns byte-for-byte
+    after :func:`repro.obs.strip_volatile`.
+    """
     print()
     print(text)
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    if params is None and counters is None and rows is None and series is None:
+        return
+    base_params = {
+        "circuit": CFG.circuit,
+        "presim_vectors": CFG.presim_vectors,
+        "full_vectors": CFG.full_vectors,
+        "seed": CFG.seed,
+    }
+    base_params.update(params or {})
+    merged_counters = {"bench.rows": len(rows)} if rows is not None else {}
+    merged_counters.update(counters or {})
+    doc = metrics_document(
+        name,
+        kind="bench",
+        params=base_params,
+        counters=merged_counters,
+        rows=rows,
+        series=series,
+        generated_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    )
+    write_metrics(OUT_DIR / f"BENCH_{name}.json", doc)
+
+
+def _scalar(value):
+    """Coerce numpy scalars to plain Python for JSON serialization."""
+    if isinstance(value, (str, bytes)):
+        return value
+    item = getattr(value, "item", None)
+    return item() if callable(item) else value
+
+
+def table_rows(headers: list[str], rows: list[list]) -> list[dict]:
+    """Convert ``format_table``-style headers + list rows into metrics
+    document row dicts (snake_case keys, plain scalar values)."""
+    keys = [re.sub(r"[^a-z0-9]+", "_", h.lower()).strip("_") for h in headers]
+    return [dict(zip(keys, (_scalar(v) for v in row))) for row in rows]
 
 
 @functools.lru_cache(maxsize=1)

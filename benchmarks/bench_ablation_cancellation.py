@@ -9,7 +9,7 @@ fewer messages for identical committed results.
 
 from dataclasses import replace
 
-from _shared import CFG, emit
+from _shared import CFG, emit, table_rows
 
 from repro.bench import format_table
 from repro.circuits import load_circuit, random_vectors
@@ -46,14 +46,17 @@ def test_cancellation_modes(benchmark):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["mode", "processed", "committed", "msgs", "antis", "rollbacks",
+               "speedup"]
     emit(
         "ablation_cancellation",
         format_table(
-            ["mode", "processed", "committed", "msgs", "antis", "rollbacks",
-             "speedup"],
+            headers,
             rows,
             title=f"Ablation: cancellation policy (k=4, b=7.5, {CFG.circuit})",
         ),
+        rows=table_rows(headers, rows),
+        params={"k": 4, "b": 7.5},
     )
     lazy, aggressive = rows
     assert lazy[2] == aggressive[2], "committed work must be identical"

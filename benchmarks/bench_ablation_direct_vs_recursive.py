@@ -9,7 +9,7 @@ is what buys feasibility; its cut is compared like-for-like only where
 both results are balanced.
 """
 
-from _shared import CFG, emit
+from _shared import CFG, emit, table_rows
 
 from repro.bench import format_table
 from repro.circuits import load_circuit
@@ -34,14 +34,17 @@ def test_direct_vs_recursive(benchmark):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["circuit", "k", "direct cut", "balanced", "recursive cut",
+               "balanced (rec)"]
     emit(
         "ablation_direct_vs_recursive",
         format_table(
-            ["circuit", "k", "direct cut", "balanced", "recursive cut",
-             "balanced (rec)"],
+            headers,
             rows,
             title="Ablation: direct pairwise vs recursive bipartitioning (b=10)",
         ),
+        rows=table_rows(headers, rows),
+        params={"b": 10.0},
     )
     # the direct algorithm always meets Formula 1 on these workloads
     assert all(r[3] for r in rows)

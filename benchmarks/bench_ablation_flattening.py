@@ -6,7 +6,7 @@ trades cut for feasibility.  This is the mechanism behind Table 1's
 strong b-dependence.
 """
 
-from _shared import CFG, emit
+from _shared import CFG, emit, table_rows
 
 from repro.bench import format_table
 from repro.circuits import load_circuit
@@ -30,14 +30,17 @@ def test_flattening_ablation(benchmark):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["b", "cut (flatten on)", "balanced", "steps",
+               "cut (flatten off)", "balanced (off)"]
     emit(
         "ablation_flattening",
         format_table(
-            ["b", "cut (flatten on)", "balanced", "steps",
-             "cut (flatten off)", "balanced (off)"],
+            headers,
             rows,
             title=f"Ablation: super-gate flattening (k=4, {CFG.circuit})",
         ),
+        rows=table_rows(headers, rows),
+        params={"k": 4},
     )
     # at some tight b, flattening is what makes the constraint reachable
     tight = rows[0]

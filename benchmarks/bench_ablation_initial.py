@@ -5,7 +5,7 @@ it "emphasizes the concurrency present in the design"; this benchmark
 quantifies what that seeding is worth after full FM refinement.
 """
 
-from _shared import CFG, emit
+from _shared import CFG, emit, table_rows
 
 from repro.bench import format_table
 from repro.circuits import load_circuit
@@ -26,13 +26,16 @@ def test_initial_partitioners(benchmark):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["initial", "k", "cut", "fm rounds"]
     emit(
         "ablation_initial",
         format_table(
-            ["initial", "k", "cut", "fm rounds"],
+            headers,
             rows,
             title=f"Ablation: initial partition (b=10, {CFG.circuit})",
         ),
+        rows=table_rows(headers, rows),
+        params={"b": 10.0},
     )
     # both must produce valid partitions; cone should not be a
     # regression in aggregate

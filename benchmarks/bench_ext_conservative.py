@@ -17,7 +17,7 @@ buys.  Two conservative numbers are reported:
   gate-level simulators (DVS included) went optimistic.
 """
 
-from _shared import CFG, emit
+from _shared import CFG, emit, table_rows
 
 from repro.bench import format_table
 from repro.circuits import load_circuit, random_vectors
@@ -76,17 +76,20 @@ def test_optimistic_vs_conservative(benchmark):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["k", "TW speedup", "TW rollbacks", "ideal-cons speedup",
+               "est. null msgs", "CMB-est speedup"]
     emit(
         "ext_conservative",
         format_table(
-            ["k", "TW speedup", "TW rollbacks", "ideal-cons speedup",
-             "est. null msgs", "CMB-est speedup"],
+            headers,
             rows,
             title=(
                 f"Extension: Time Warp vs conservative "
                 f"(b=10, {CFG.circuit})"
             ),
         ),
+        rows=table_rows(headers, rows),
+        params={"b": 10.0},
     )
     for k, tw_s, _, cons_s, _, cmb_s in rows:
         # within a few percent of the unreachable idealized bound...

@@ -14,7 +14,7 @@ balances load while ignoring communication affinity, which is the very
 thing the design-driven partitioner optimizes.
 """
 
-from _shared import CFG, emit
+from _shared import CFG, emit, table_rows
 
 from repro.bench import format_table
 from repro.circuits import load_circuit, random_vectors
@@ -59,13 +59,16 @@ def test_dynamic_policies(benchmark):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["scenario", "speedup", "rollbacks", "migrations", "peak ckpt"]
     emit(
         "ext_dynamic",
         format_table(
-            ["scenario", "speedup", "rollbacks", "migrations", "peak ckpt"],
+            headers,
             rows,
             title=f"Extension: dynamic kernel policies (k=4, b=10, {CFG.circuit})",
         ),
+        rows=table_rows(headers, rows),
+        params={"k": 4, "b": 10.0},
     )
     by_name = {r[0]: r for r in rows}
     # migration must fire on the skewed placement and improve it

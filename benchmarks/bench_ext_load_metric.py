@@ -7,7 +7,7 @@ by profiled gate activity, then measure which partition actually runs
 faster on the virtual cluster.
 """
 
-from _shared import CFG, emit
+from _shared import CFG, emit, table_rows
 
 from repro.bench import format_table
 from repro.circuits import load_circuit, random_vectors
@@ -39,16 +39,19 @@ def test_activity_load_metric(benchmark):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["k", "load metric", "cut", "speedup", "msgs", "rollbacks"]
     emit(
         "ext_load_metric",
         format_table(
-            ["k", "load metric", "cut", "speedup", "msgs", "rollbacks"],
+            headers,
             rows,
             title=(
                 f"Extension: gate-count vs activity load metric "
                 f"(b=10, {CFG.circuit})"
             ),
         ),
+        rows=table_rows(headers, rows),
+        params={"b": 10.0},
     )
     # both metrics must produce working partitions
     assert all(float(r[3]) > 0 for r in rows)

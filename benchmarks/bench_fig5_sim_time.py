@@ -28,7 +28,11 @@ def test_fig5_simulation_time(benchmark):
         },
         title=f"Figure 5: simulation time vs machines ({CFG.circuit})",
     )
-    emit("fig5_sim_time", series)
+    emit(
+        "fig5_sim_time",
+        series,
+        series={"machines": xs, "measured_time_s": ys, "paper_time_s": paper},
+    )
     # monotone decrease with diminishing returns
     assert all(ys[i + 1] < ys[i] for i in range(len(ys) - 1))
     first_drop = ys[0] - ys[1]

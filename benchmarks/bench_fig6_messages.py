@@ -21,7 +21,12 @@ def test_fig6_messages(benchmark):
         {f"b={b}": counts for b, counts in sorted(messages.items())},
         title=f"Figure 6: messages during pre-simulation ({CFG.circuit})",
     )
-    emit("fig6_messages", series)
+    emit(
+        "fig6_messages",
+        series,
+        series={"machines": list(ks),
+                **{f"b={b}": counts for b, counts in sorted(messages.items())}},
+    )
     bs = sorted(messages)
     # tightest b sends the most messages at the largest k
     k_idx = len(ks) - 1

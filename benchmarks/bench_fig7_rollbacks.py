@@ -22,7 +22,12 @@ def test_fig7_rollbacks(benchmark):
         {f"b={b}": counts for b, counts in sorted(rollbacks.items())},
         title=f"Figure 7: rollbacks during pre-simulation ({CFG.circuit})",
     )
-    emit("fig7_rollbacks", series)
+    emit(
+        "fig7_rollbacks",
+        series,
+        series={"machines": list(ks),
+                **{f"b={b}": counts for b, counts in sorted(rollbacks.items())}},
+    )
     bs = sorted(rollbacks)
     k_idx = len(ks) - 1
     # the tightest balance rolls back at least as much as the loosest

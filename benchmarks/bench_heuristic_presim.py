@@ -29,6 +29,21 @@ def test_heuristic_vs_brute_force(benchmark):
         },
         title="Heuristic (Fig 3) vs brute-force pre-simulation",
     )
-    emit("heuristic_presim", block)
+    emit(
+        "heuristic_presim",
+        block,
+        counters={
+            "bench.brute_force_runs": comp.brute.runs,
+            "bench.heuristic_runs": comp.heuristic.runs,
+            "bench.runs_saved": comp.runs_saved,
+            "bench.speedup_gap": comp.speedup_gap,
+        },
+        rows=[
+            {"method": "brute", "k": comp.brute.best.k, "b": comp.brute.best.b,
+             "speedup": comp.brute.best.speedup},
+            {"method": "heuristic", "k": comp.heuristic.best.k,
+             "b": comp.heuristic.best.b, "speedup": comp.heuristic.best.speedup},
+        ],
+    )
     assert comp.heuristic.runs <= comp.brute.runs
     assert comp.speedup_gap >= -1e-9  # brute force is the envelope

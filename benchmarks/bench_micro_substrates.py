@@ -9,18 +9,21 @@ both simulators.
 
 import numpy as np
 
-from _shared import CFG
+from _shared import CFG, emit
 
 from repro.baselines import coarsen, fm_refine_bisection, multilevel_bisect
+from repro.bench import format_kv
 from repro.circuits import circuit_source, load_circuit, random_vectors
 from repro.core import design_driven_partition
 from repro.hypergraph import Clustering, flat_hypergraph
+from repro.obs import MetricsRecorder
 from repro.sim import (
     ClusterSpec,
     SequentialSimulator,
     TimeWarpConfig,
     TimeWarpEngine,
     compile_circuit,
+    run_partitioned,
 )
 from repro.verilog import compile_verilog, parse_source
 
@@ -95,3 +98,35 @@ def test_timewarp_sim_10_vectors(benchmark):
         return eng.run().processed_events
 
     benchmark(run)
+
+
+def test_substrate_metrics(benchmark):
+    """Full partition + simulate pass through one MetricsRecorder —
+    the observability layer's deterministic end-to-end exercise."""
+
+    def run():
+        rec = MetricsRecorder()
+        part = design_driven_partition(NETLIST, k=4, b=10.0, seed=1,
+                                       recorder=rec)
+        rec.incr("part.cut_size", part.cut_size)
+        rec.incr("part.balanced", int(part.balanced))
+        clusters, lpm = part.to_simulation()
+        run_partitioned(
+            CIRCUIT, clusters, lpm, EVENTS,
+            ClusterSpec(num_machines=4), TimeWarpConfig(), recorder=rec,
+        )
+        return rec
+
+    rec = benchmark.pedantic(run, rounds=1, iterations=1)
+    counters = rec.as_counters()
+    shown = {k: v for k, v in counters.items()
+             if k in ("part.cut_size", "part.fm.moves", "part.rounds",
+                      "tw.processed_events", "tw.rollbacks", "tw.speedup")}
+    emit(
+        "micro_substrates",
+        format_kv(shown, title=f"Substrate metrics (k=4, b=10, {CFG.circuit})"),
+        counters=counters,
+        params={"k": 4, "b": 10.0, "vectors": 10},
+    )
+    assert counters["tw.processed_events"] > 0
+    assert counters["partition.refine.calls"] >= 1

@@ -8,7 +8,7 @@ paper's module count, the closest structural match to the original
 experiment in this reproduction.
 """
 
-from _shared import CFG, emit
+from _shared import CFG, emit, table_rows
 
 from repro.baselines import multilevel_partition
 from repro.bench import format_table
@@ -35,11 +35,12 @@ def test_paper_scale_partitioning(benchmark):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["k", "b", "design cut", "balanced", "flattened",
+               "multilevel cut", "ratio"]
     emit(
         "paper_scale",
         format_table(
-            ["k", "b", "design cut", "balanced", "flattened",
-             "multilevel cut", "ratio"],
+            headers,
             rows,
             title=(
                 f"Paper-scale study ({netlist.num_gates} gates, "
@@ -47,6 +48,10 @@ def test_paper_scale_partitioning(benchmark):
                 f"netlist's module count)"
             ),
         ),
+        rows=table_rows(headers, rows),
+        params={"circuit": "viterbi-paper",
+                "num_gates": netlist.num_gates,
+                "num_instances": len(netlist.hierarchy.children)},
     )
     # the paper's headline at the paper's module count: the design
     # algorithm is never worse (ties happen where the channel structure

@@ -7,7 +7,7 @@ workload (`cpu8`): register file, ALU, control ROM, pipeline registers
 — a module mix very different from the Viterbi decoder's.
 """
 
-from _shared import CFG, emit
+from _shared import CFG, emit, table_rows
 
 from repro.baselines import multilevel_partition
 from repro.bench import format_table
@@ -45,11 +45,12 @@ def test_second_workload(benchmark):
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["k", "design cut", "balanced", "multilevel cut", "speedup",
+               "msgs", "rollbacks"]
     emit(
         "second_workload",
         format_table(
-            ["k", "design cut", "balanced", "multilevel cut", "speedup",
-             "msgs", "rollbacks"],
+            headers,
             rows,
             title=f"Second workload ({CIRCUIT}: {netlist.num_gates} gates, "
                   f"b=10) — design-driven vs multilevel-on-flat",
@@ -62,6 +63,9 @@ def test_second_workload(benchmark):
         "only ones here that always meet Formula 1.  Speedups below 1 "
         "at k>=3 reflect the workload, not the partitioner: a small "
         "in-order CPU serializes on its register file and PC chain.",
+        rows=table_rows(headers, rows),
+        params={"circuit": CIRCUIT, "b": 10.0,
+                "num_gates": netlist.num_gates},
     )
     # contracts that must generalize: feasibility everywhere, parity on
     # the natural 2-way split, and no blow-up vs the flat baseline

@@ -5,23 +5,25 @@ to reproduce is cut falling as b relaxes and rising with k, well below
 the flat multilevel baseline of Table 2.
 """
 
-from _shared import CFG, design_rows, emit
+from _shared import CFG, design_rows, emit, table_rows
 
 from repro.bench import PAPER_TABLE1, format_table
 
 
 def test_table1_cutsize_design(benchmark):
     rows = benchmark.pedantic(design_rows, rounds=1, iterations=1)
+    headers = ["k", "b", "cut (measured)", "cut (paper)", "balanced", "flattened"]
+    cells = [
+        [r.k, r.b, r.cut, PAPER_TABLE1[(r.k, r.b)], r.balanced,
+         r.extra.get("flatten_steps", 0)]
+        for r in rows
+    ]
     table = format_table(
-        ["k", "b", "cut (measured)", "cut (paper)", "balanced", "flattened"],
-        [
-            [r.k, r.b, r.cut, PAPER_TABLE1[(r.k, r.b)], r.balanced,
-             r.extra.get("flatten_steps", 0)]
-            for r in rows
-        ],
+        headers,
+        cells,
         title=f"Table 1: design-driven cut size ({CFG.circuit})",
     )
-    emit("table1_cutsize_design", table)
+    emit("table1_cutsize_design", table, rows=table_rows(headers, cells))
     # shape assertions (not absolute values — the circuit is scaled)
     by_kb = {(r.k, r.b): r.cut for r in rows}
     ks = sorted({r.k for r in rows})

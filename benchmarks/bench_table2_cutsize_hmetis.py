@@ -15,16 +15,23 @@ recursive UBfactors can compound past it), and partitions a
 40-vertex hypergraph instead of a 4000-vertex one.
 """
 
-from _shared import CFG, design_rows, emit, multilevel_rows
+from _shared import CFG, design_rows, emit, multilevel_rows, table_rows
 
-from repro.bench import PAPER_TABLE2, format_table, shape_checks_cutsize
+from repro.bench import (
+    PAPER_TABLE2,
+    format_table,
+    shape_check_counters,
+    shape_checks_cutsize,
+)
 
 
 def test_table2_cutsize_multilevel(benchmark):
     rows = benchmark.pedantic(multilevel_rows, rounds=1, iterations=1)
+    headers = ["k", "b", "cut (measured)", "formula 1", "cut (paper hMetis)"]
+    cells = [[r.k, r.b, r.cut, r.balanced, PAPER_TABLE2[(r.k, r.b)]] for r in rows]
     table = format_table(
-        ["k", "b", "cut (measured)", "formula 1", "cut (paper hMetis)"],
-        [[r.k, r.b, r.cut, r.balanced, PAPER_TABLE2[(r.k, r.b)]] for r in rows],
+        headers,
+        cells,
         title=f"Table 2: multilevel (hMetis-style) cut on the flat netlist ({CFG.circuit})",
     )
     design = {(r.k, r.b): r.cut for r in design_rows()}
@@ -43,5 +50,10 @@ def test_table2_cutsize_multilevel(benchmark):
          f"on the 388-instance paper-shape circuit)", ""]
         + [str(c) for c in checks]
     )
-    emit("table2_cutsize_hmetis", block)
+    emit(
+        "table2_cutsize_hmetis",
+        block,
+        rows=table_rows(headers, cells),
+        counters=shape_check_counters(checks),
+    )
     assert all(c.passed for c in checks), [str(c) for c in checks]

@@ -7,7 +7,12 @@ over-tight balance shreds the hierarchy and communication dominates).
 
 from _shared import CFG, emit, presim_study
 
-from repro.bench import PAPER_TABLE3, format_table, shape_checks_speedup
+from repro.bench import (
+    PAPER_TABLE3,
+    format_table,
+    shape_check_counters,
+    shape_checks_speedup,
+)
 
 
 def test_table3_presim(benchmark):
@@ -28,5 +33,14 @@ def test_table3_presim(benchmark):
     )
     speedups = {(p.k, p.b): p.speedup for p in study.points}
     checks = shape_checks_speedup(speedups)
-    emit("table3_presim", "\n".join([table, ""] + [str(c) for c in checks]))
+    emit(
+        "table3_presim",
+        "\n".join([table, ""] + [str(c) for c in checks]),
+        rows=[
+            {"k": p.k, "b": p.b, "cut_size": p.cut_size,
+             "sim_time": p.sim_time, "speedup": p.speedup}
+            for p in study.points
+        ],
+        counters={"seq.wall_time": seq_wall, **shape_check_counters(checks)},
+    )
     assert all(c.passed for c in checks), [str(c) for c in checks]

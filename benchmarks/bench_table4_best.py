@@ -5,7 +5,7 @@ Paper: k=2 -> b=12.5 (speedup 1.65), k=3 -> b=10 (1.81), k=4 -> b=7.5
 tightest nor necessarily the loosest), and best speedup grows with k.
 """
 
-from _shared import CFG, emit, presim_study
+from _shared import CFG, emit, presim_study, table_rows
 
 from repro.bench import PAPER_TABLE4, format_table
 from repro.core import PAPER_B_VALUES
@@ -24,13 +24,14 @@ def test_table4_best_partitions(benchmark):
             [k, p.b, p.cut_size, f"{p.sim_time:.4f}", f"{p.speedup:.2f}",
              pb, pcut, ptime, pspeed]
         )
+    headers = ["k", "b*", "cut", "time (s)", "speedup",
+               "paper b*", "paper cut", "paper time", "paper speedup"]
     table = format_table(
-        ["k", "b*", "cut", "time (s)", "speedup",
-         "paper b*", "paper cut", "paper time", "paper speedup"],
+        headers,
         rows,
         title=f"Table 4: best pre-simulation partitions ({CFG.circuit})",
     )
-    emit("table4_best", table)
+    emit("table4_best", table, rows=table_rows(headers, rows))
     # winners never sit at the tightest b
     assert all(p.b != min(PAPER_B_VALUES) for p in best.values())
     speeds = [best[k].speedup for k in sorted(best)]

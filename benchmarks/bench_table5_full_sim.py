@@ -5,7 +5,7 @@ slightly below the pre-simulation predictions, confirming Chamberlain &
 Henderson's observation that short pre-simulation is a usable predictor.
 """
 
-from _shared import CFG, emit, full_sim_rows, presim_study
+from _shared import CFG, emit, full_sim_rows, presim_study, table_rows
 
 from repro.bench import PAPER_SEQ_TIME_FULL, PAPER_TABLE5, format_table
 
@@ -20,9 +20,10 @@ def test_table5_full_sim(benchmark):
             [r.k, r.b, r.cut, f"{r.sim_time:.4f}", f"{r.speedup:.2f}",
              f"{best[r.k].speedup:.2f}", pb, ptime, pspeed]
         )
+    headers = ["k", "b*", "cut", "time (s)", "speedup", "presim speedup",
+               "paper b*", "paper time", "paper speedup"]
     table = format_table(
-        ["k", "b*", "cut", "time (s)", "speedup", "presim speedup",
-         "paper b*", "paper time", "paper speedup"],
+        headers,
         out,
         title=(
             f"Table 5: full simulation ({CFG.circuit}, {CFG.full_vectors} vectors, "
@@ -30,7 +31,12 @@ def test_table5_full_sim(benchmark):
             f"{PAPER_SEQ_TIME_FULL}s)"
         ),
     )
-    emit("table5_full_sim", table)
+    emit(
+        "table5_full_sim",
+        table,
+        rows=table_rows(headers, out),
+        counters={"seq.wall_time": seq_wall},
+    )
     assert all(r.speedup > 1.0 for r in rows), "winners must beat sequential"
     # speedup grows (weakly) with machine count, as in the paper
     speeds = [r.speedup for r in rows]

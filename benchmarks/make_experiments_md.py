@@ -1,9 +1,17 @@
 """Assemble EXPERIMENTS.md from the benchmark outputs.
 
-Run the benchmark suite first (it writes ``benchmarks/out/*.txt``),
+Run the benchmark suite first (it writes ``benchmarks/out/*.txt`` and
+the machine-readable ``benchmarks/out/BENCH_*.json`` metrics documents),
 then::
 
-    python benchmarks/make_experiments_md.py
+    python benchmarks/make_experiments_md.py            # regenerate
+    python benchmarks/make_experiments_md.py --check    # CI freshness gate
+
+``--check`` rebuilds the document in memory, validates every metrics
+JSON against the schema (``repro.obs.validate_metrics``), and exits
+non-zero if the committed EXPERIMENTS.md differs from what the current
+outputs would produce — i.e. someone changed a benchmark without
+regenerating the document.
 
 The document records paper-vs-measured for every table and figure plus
 the ablations, with the scaling context needed to read the comparison.
@@ -11,7 +19,14 @@ the ablations, with the scaling context needed to read the comparison.
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
+
+try:
+    from repro.obs import MetricsError, read_metrics
+except ImportError:  # direct script run without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+    from repro.obs import MetricsError, read_metrics
 
 OUT = Path(__file__).parent / "out"
 TARGET = Path(__file__).parent.parent / "EXPERIMENTS.md"
@@ -151,7 +166,30 @@ SECTIONS = [
 ]
 
 
-def main() -> None:
+def _metrics_note(stem: str, errors: list[str]) -> str | None:
+    """One deterministic line describing a section's BENCH JSON, or
+    ``None`` when the benchmark emitted no metrics document."""
+    path = OUT / f"BENCH_{stem}.json"
+    if not path.exists():
+        return None
+    try:
+        doc = read_metrics(path)
+    except MetricsError as exc:
+        errors.append(str(exc))
+        return f"*(metrics document `{path.name}` failed validation)*\n"
+    bits = [f"schema v{doc['schema_version']}",
+            f"{len(doc['counters'])} counters"]
+    if "rows" in doc:
+        bits.append(f"{len(doc['rows'])} rows")
+    if "series" in doc:
+        bits.append(f"{len(doc['series'])} series")
+    return (f"Machine-readable: `benchmarks/out/{path.name}` "
+            f"({', '.join(bits)}).\n")
+
+
+def build_document(errors: list[str] | None = None) -> tuple[str, list[str]]:
+    """Assemble the EXPERIMENTS.md text; returns (text, missing stems)."""
+    errors = errors if errors is not None else []
     parts = [HEADER]
     missing = []
     for title, stem, commentary in SECTIONS:
@@ -163,11 +201,39 @@ def main() -> None:
         else:
             missing.append(stem)
             parts.append("*(benchmark output missing — run the suite first)*\n")
-    TARGET.write_text("\n".join(parts))
+        note = _metrics_note(stem, errors)
+        if note is not None:
+            parts.append(note)
+    return "\n".join(parts), missing
+
+
+def main(argv: list[str] | None = None) -> int:
+    check = "--check" in (argv if argv is not None else sys.argv[1:])
+    errors: list[str] = []
+    text, missing = build_document(errors)
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        return 1
+    if check:
+        if not TARGET.exists():
+            print(f"error: {TARGET} does not exist; run without --check "
+                  "to generate it", file=sys.stderr)
+            return 1
+        if TARGET.read_text() != text:
+            print(f"error: {TARGET} is stale — regenerate it with "
+                  f"'python {Path(__file__).name}'", file=sys.stderr)
+            return 1
+        print(f"{TARGET} is up to date")
+        if missing:
+            print("missing sections:", ", ".join(missing))
+        return 0
+    TARGET.write_text(text)
     print(f"wrote {TARGET}")
     if missing:
         print("missing sections:", ", ".join(missing))
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -19,6 +19,9 @@ including every substrate the paper depends on:
   substitute).
 * :mod:`repro.circuits` — workload generators, including the synthetic
   hierarchical Viterbi decoder standing in for the paper's RPI netlist.
+* :mod:`repro.obs` — the observability layer: phase-timed metric
+  recorders, a bounded event-trace buffer, and schema-versioned
+  metrics JSON shared by the CLI and the benchmark harness.
 * :mod:`repro.bench` — experiment harness regenerating every table and
   figure in the paper's evaluation section.
 

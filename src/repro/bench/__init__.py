@@ -27,6 +27,7 @@ from .report import (
     ShapeCheck,
     shape_checks_cutsize,
     shape_checks_speedup,
+    shape_check_counters,
 )
 
 __all__ = [
@@ -53,6 +54,7 @@ __all__ = [
     "ShapeCheck",
     "shape_checks_cutsize",
     "shape_checks_speedup",
+    "shape_check_counters",
     "GridCell",
     "run_presim_grid",
 ]

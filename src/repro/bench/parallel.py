@@ -34,6 +34,19 @@ class GridCell:
     messages: int
     rollbacks: int
 
+    def to_row(self) -> dict:
+        """Scalar dict form for a metrics document ``rows`` entry."""
+        return {
+            "k": self.k,
+            "b": self.b,
+            "cut_size": self.cut_size,
+            "balanced": self.balanced,
+            "sim_time": self.sim_time,
+            "speedup": self.speedup,
+            "messages": self.messages,
+            "rollbacks": self.rollbacks,
+        }
+
 
 def _evaluate_cell(
     source: str,

@@ -24,6 +24,7 @@ __all__ = [
     "ShapeCheck",
     "shape_checks_cutsize",
     "shape_checks_speedup",
+    "shape_check_counters",
 ]
 
 #: Table 1 — design-driven cut size: {(k, b): cut}
@@ -85,6 +86,16 @@ class ShapeCheck:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         mark = "PASS" if self.passed else "FAIL"
         return f"[{mark}] {self.name}: {self.detail}"
+
+
+def shape_check_counters(checks: list[ShapeCheck]) -> dict[str, int]:
+    """Fold shape-check outcomes into the registered ``bench.*``
+    counters for a metrics document (see :mod:`repro.obs.registry`)."""
+    passed = sum(1 for c in checks if c.passed)
+    return {
+        "bench.shape_checks_passed": passed,
+        "bench.shape_checks_failed": len(checks) - passed,
+    }
 
 
 def shape_checks_cutsize(

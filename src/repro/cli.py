@@ -63,6 +63,9 @@ def build_parser() -> argparse.ArgumentParser:
     pa.add_argument("--save", type=Path, default=None,
                     help="save the partition as reusable JSON "
                          "(design algorithm only)")
+    pa.add_argument("--metrics", type=Path, default=None, metavar="PATH",
+                    help="write a schema-versioned metrics JSON document "
+                         "(part.* counters; see docs/observability.md)")
 
     o = sub.add_parser("optimize", help="constant-prop + dead-gate cleanup")
     o.add_argument("file", type=Path)
@@ -89,6 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="reuse a partition saved with 'partition --save'")
     ps.add_argument("--conservative", action="store_true",
                     help="idealized conservative mode (no rollbacks)")
+    ps.add_argument("--metrics", type=Path, default=None, metavar="PATH",
+                    help="write a schema-versioned metrics JSON document "
+                         "(part.*/tw.*/seq.* counters; see "
+                         "docs/observability.md)")
+    ps.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                    help="dump the kernel's bounded event trace as JSONL "
+                         "(exec/send/rollback/gvt/migrate events)")
+    ps.add_argument("--trace-capacity", type=int, default=65536,
+                    help="event-trace ring-buffer size (default: 65536; "
+                         "oldest events drop first)")
 
     sw = sub.add_parser("sweep", help="full (k, b) grid, optionally "
                                       "across processes")
@@ -102,6 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--seed", type=int, default=1)
     sw.add_argument("--workers", type=int, default=None,
                     help="process count (default: serial)")
+    sw.add_argument("--metrics-out", type=Path, default=None, metavar="PATH",
+                    help="write the grid as a schema-versioned metrics "
+                         "JSON document (kind=sweep)")
 
     se = sub.add_parser("search", help="pre-simulation (k, b) selection")
     se.add_argument("file", type=Path)
@@ -119,6 +135,14 @@ def _load(args) -> "object":
 
     text = args.file.read_text()
     return compile_verilog(text, top=args.top)
+
+
+def _stamp() -> str:
+    """Wall-clock provenance for metrics documents — the only
+    non-deterministic field they carry (see docs/observability.md)."""
+    from datetime import datetime, timezone
+
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
 
 
 def _cmd_circuits(args, out) -> int:
@@ -169,11 +193,18 @@ def _cmd_partition(args, out) -> int:
     if args.save is not None and args.algorithm != "design":
         print("error: --save requires --algorithm design", file=sys.stderr)
         return 1
+    recorder = None
+    if args.metrics is not None:
+        from .obs import MetricsRecorder
+
+        recorder = MetricsRecorder()
     if args.algorithm == "design":
         from .core import design_driven_partition
+        from .obs import NULL_RECORDER
 
         r = design_driven_partition(
-            netlist, k=args.k, b=args.b, seed=args.seed, pairing=args.pairing
+            netlist, k=args.k, b=args.b, seed=args.seed, pairing=args.pairing,
+            recorder=recorder if recorder is not None else NULL_RECORDER,
         )
         cut, loads = r.cut_size, r.part_weights.tolist()
         out.write(f"algorithm : design-driven (pairing={args.pairing})\n")
@@ -213,6 +244,24 @@ def _cmd_partition(args, out) -> int:
         ]
         args.assignment_out.write_text("\n".join(lines) + "\n")
         out.write(f"wrote      {args.assignment_out}\n")
+    if args.metrics is not None:
+        from .obs import metrics_document, write_metrics
+
+        counters = {"part.cut_size": int(cut)}
+        if args.algorithm == "design":
+            counters["part.balanced"] = int(r.balanced)
+        doc = metrics_document(
+            "partition",
+            kind="partition",
+            params={"file": str(args.file), "algorithm": args.algorithm,
+                    "k": args.k, "b": args.b, "seed": args.seed,
+                    "pairing": args.pairing},
+            counters=counters,
+            recorder=recorder,
+            generated_at=_stamp(),
+        )
+        write_metrics(args.metrics, doc)
+        out.write(f"metrics    {args.metrics}\n")
     return 0
 
 
@@ -250,7 +299,24 @@ def _cmd_simulate(args, out) -> int:
 def _cmd_psim(args, out) -> int:
     from .circuits import random_vectors
     from .core import design_driven_partition
+    from .obs import NULL_RECORDER
     from .sim import ClusterSpec, TimeWarpConfig, compile_circuit, run_partitioned
+
+    recorder = NULL_RECORDER
+    if args.metrics is not None:
+        from .obs import MetricsRecorder
+
+        recorder = MetricsRecorder()
+    trace = None
+    if args.trace is not None:
+        from .errors import ConfigError
+        from .obs import TraceBuffer
+
+        if args.trace_capacity < 1:
+            raise ConfigError(
+                f"--trace-capacity must be >= 1, got {args.trace_capacity}"
+            )
+        trace = TraceBuffer(capacity=args.trace_capacity)
 
     netlist = _load(args)
     events = random_vectors(netlist, args.vectors, seed=args.seed)
@@ -261,7 +327,8 @@ def _cmd_psim(args, out) -> int:
         k = part.k
         out.write(f"loaded partition {args.partition} (k={k}, b={part.b})\n")
     else:
-        part = design_driven_partition(netlist, k=args.k, b=args.b, seed=args.seed)
+        part = design_driven_partition(netlist, k=args.k, b=args.b,
+                                       seed=args.seed, recorder=recorder)
         k = args.k
     clusters, machines = part.to_simulation()
     report = run_partitioned(
@@ -271,6 +338,8 @@ def _cmd_psim(args, out) -> int:
             lazy_cancellation=not args.aggressive,
             conservative=args.conservative,
         ),
+        recorder=recorder,
+        trace=trace,
     )
     out.write(f"k={k} b={part.b} cut={part.cut_size} "
               f"balanced={part.balanced}\n")
@@ -282,6 +351,28 @@ def _cmd_psim(args, out) -> int:
     out.write(f"rollbacks       : {report.rollbacks} "
               f"({report.rolled_back_events} events undone)\n")
     out.write(f"verified        : {report.verified}\n")
+    if args.metrics is not None:
+        from .obs import metrics_document, write_metrics
+
+        doc = metrics_document(
+            "psim",
+            kind="run",
+            params={"file": str(args.file), "k": k, "b": part.b,
+                    "vectors": args.vectors, "seed": args.seed,
+                    "lazy_cancellation": not args.aggressive,
+                    "conservative": args.conservative},
+            counters={"part.cut_size": part.cut_size,
+                      "part.balanced": int(part.balanced)},
+            recorder=recorder,
+            generated_at=_stamp(),
+        )
+        write_metrics(args.metrics, doc)
+        out.write(f"metrics         : {args.metrics}\n")
+    if trace is not None:
+        written = trace.dump(args.trace)
+        dropped = f" ({trace.dropped} dropped)" if trace.dropped else ""
+        out.write(f"trace           : {args.trace} "
+                  f"({written} events{dropped})\n")
     return 0
 
 
@@ -304,6 +395,20 @@ def _cmd_sweep(args, out) -> int:
     ) + "\n")
     best = max(cells, key=lambda c: c.speedup)
     out.write(f"\nbest: k={best.k} b={best.b} speedup={best.speedup:.2f}\n")
+    if args.metrics_out is not None:
+        from .obs import metrics_document, write_metrics
+
+        doc = metrics_document(
+            "sweep",
+            kind="sweep",
+            params={"file": str(args.file), "ks": args.ks, "bs": args.bs,
+                    "vectors": args.vectors, "seed": args.seed},
+            counters={"bench.rows": len(cells)},
+            rows=[c.to_row() for c in cells],
+            generated_at=_stamp(),
+        )
+        write_metrics(args.metrics_out, doc)
+        out.write(f"metrics: {args.metrics_out}\n")
     return 0
 
 

@@ -26,6 +26,7 @@ import numpy as np
 from ..errors import PartitionError
 from ..hypergraph.build import Clustering
 from ..hypergraph.partition_state import PartitionState
+from ..obs.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["cone_partition", "build_cluster_dag", "input_cones"]
 
@@ -84,12 +85,18 @@ def cone_partition(
     clustering: Clustering,
     k: int,
     seed: int = 0,
+    recorder: Recorder = NULL_RECORDER,
 ) -> PartitionState:
     """Initial k-way partition by greedy cone assignment.
 
     The seed only breaks ties among equal-weight cones (assignment is
     otherwise deterministic), keeping repeated runs reproducible while
     allowing restarts.
+
+    ``recorder`` (optional, :mod:`repro.obs`) receives the
+    ``part.cone.*`` counters — cone count, input-fed roots, and
+    vertices unreachable from any input; the default no-op recorder
+    keeps this free.
     """
     hg = clustering.hypergraph()
     if k > hg.num_vertices:
@@ -107,6 +114,11 @@ def cone_partition(
         keyed.sort(key=lambda t: (t[0], t[1]))
         cones = [t[2] for t in keyed]
 
+    if recorder.enabled:
+        _, roots = build_cluster_dag(clustering)
+        recorder.incr("part.cone.cones", len(cones))
+        recorder.incr("part.cone.roots", len(roots))
+
     assignment = np.full(hg.num_vertices, -1, dtype=np.int64)
     load = np.zeros(k, dtype=np.int64)
     ideal = hg.total_weight / k
@@ -123,9 +135,13 @@ def cone_partition(
                 target = int(np.argmin(load))
             assignment[c] = target
             load[target] += hg.vertex_weight[c]
+    orphans = 0
     for v in range(hg.num_vertices):
         if assignment[v] < 0:
+            orphans += 1
             target = int(np.argmin(load))
             assignment[v] = target
             load[target] += hg.vertex_weight[v]
+    if recorder.enabled and orphans:
+        recorder.incr("part.cone.orphan_vertices", orphans)
     return PartitionState(hg, k, assignment)

@@ -21,6 +21,7 @@ import heapq
 from dataclasses import dataclass
 
 from ..hypergraph.partition_state import PartitionState
+from ..obs.recorder import NULL_RECORDER, Recorder
 from .balance import BalanceConstraint
 
 __all__ = ["FMPassResult", "refine_pair", "rebalance_pair"]
@@ -46,11 +47,16 @@ def refine_pair(
     b: int,
     constraint: BalanceConstraint,
     max_passes: int = 8,
+    recorder: Recorder = NULL_RECORDER,
 ) -> FMPassResult:
     """FM refinement between partitions ``a`` and ``b`` (in place).
 
     Runs up to ``max_passes`` full FM passes; stops as soon as a pass
     realizes no positive gain.  Returns the total cut improvement.
+
+    ``recorder`` (optional, :mod:`repro.obs`) accumulates
+    ``part.fm.passes`` / ``part.fm.moves`` / ``part.fm.gain`` across
+    calls; the default no-op recorder keeps this free.
     """
     total_gain = 0
     total_moves = 0
@@ -62,6 +68,10 @@ def refine_pair(
         total_moves += moves
         if gain <= 0:
             break
+    if recorder.enabled:
+        recorder.incr("part.fm.passes", passes)
+        recorder.incr("part.fm.moves", total_moves)
+        recorder.incr("part.fm.gain", total_gain)
     return FMPassResult(total_gain, total_moves, passes)
 
 
@@ -137,6 +147,7 @@ def rebalance_pair(
     heavy: int,
     light: int,
     constraint: BalanceConstraint,
+    recorder: Recorder = NULL_RECORDER,
 ) -> int:
     """Move vertices from an overweight partition toward a lighter one
     until the pair meets the constraint (or no movable vertex remains).
@@ -145,7 +156,8 @@ def rebalance_pair(
     super-gate in the partition and employ iterative movement in order
     to achieve a better load balance").  Vertices are chosen by best
     cut gain, then smallest weight — load correction with the least
-    cut damage.  Returns the number of vertices moved.
+    cut damage.  Returns the number of vertices moved; ``recorder``
+    accumulates it under ``part.fm.rebalance_moves``.
     """
     hg = state.hg
     lo, hi = constraint.bounds(hg.total_weight)
@@ -168,4 +180,6 @@ def rebalance_pair(
             break
         state.move(best_v, light)
         moved += 1
+    if recorder.enabled and moved:
+        recorder.incr("part.fm.rebalance_moves", moved)
     return moved

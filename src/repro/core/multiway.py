@@ -25,6 +25,7 @@ import numpy as np
 from ..errors import PartitionError
 from ..hypergraph.build import Clustering
 from ..hypergraph.partition_state import PartitionState
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..verilog.netlist import Netlist
 from .balance import BalanceConstraint
 from .cone import cone_partition
@@ -81,6 +82,7 @@ def design_driven_partition(
     max_flatten_steps: int | None = None,
     max_rounds: int = 64,
     restarts: int = 1,
+    recorder: Recorder = NULL_RECORDER,
 ) -> MultiwayResult:
     """Run the design-driven multiway partitioning algorithm.
 
@@ -110,6 +112,16 @@ def design_driven_partition(
         (balance first, then cut).  Multi-start is the standard cheap
         defense against the local minima iterative partitioners fall
         into; the paper's single-run behaviour is ``restarts=1``.
+    recorder:
+        Observability sink (:mod:`repro.obs`).  Receives the
+        ``part.*`` counters (cone stats, pairing rounds, FM moves,
+        flatten/redistribute activity) and the phase timers
+        ``partition.initial`` / ``partition.refine`` /
+        ``partition.flatten`` / ``partition.rebalance``.  With
+        ``restarts > 1`` every candidate run feeds the same recorder,
+        so counters reflect total work, not just the winner.  The
+        default :data:`~repro.obs.recorder.NULL_RECORDER` records
+        nothing at zero cost; a recorder never changes the result.
     """
     if restarts > 1:
         candidates = [
@@ -117,7 +129,7 @@ def design_driven_partition(
                 netlist_or_clustering, k, b, seed=seed + i, pairing=pairing,
                 initial=initial, max_fm_passes=max_fm_passes,
                 max_flatten_steps=max_flatten_steps, max_rounds=max_rounds,
-                restarts=1,
+                restarts=1, recorder=recorder,
             )
             for i in range(restarts)
         ]
@@ -127,21 +139,22 @@ def design_driven_partition(
     else:
         clustering = Clustering.top_level(netlist_or_clustering)
     constraint = BalanceConstraint(k, b)
-    strategy = pairing_strategy(pairing)
+    strategy = pairing_strategy(pairing, recorder=recorder)
     rng = np.random.default_rng(seed)
     history: list[str] = []
 
-    if initial == "cone":
-        state = cone_partition(clustering, k, seed=seed)
-    elif initial == "random":
-        from ..baselines.random_partition import random_partition
+    with recorder.phase("partition.initial"):
+        if initial == "cone":
+            state = cone_partition(clustering, k, seed=seed, recorder=recorder)
+        elif initial == "random":
+            from ..baselines.random_partition import random_partition
 
-        state = PartitionState(
-            clustering.hypergraph(), k,
-            random_partition(clustering.hypergraph(), k, seed=seed),
-        )
-    else:
-        raise PartitionError(f"unknown initial partitioner {initial!r}")
+            state = PartitionState(
+                clustering.hypergraph(), k,
+                random_partition(clustering.hypergraph(), k, seed=seed),
+            )
+        else:
+            raise PartitionError(f"unknown initial partitioner {initial!r}")
     history.append(
         f"{initial} initial: cut={state.cut_size}, loads={state.part_weight.tolist()}"
     )
@@ -154,15 +167,18 @@ def design_driven_partition(
     fm_rounds = 0
     flatten_steps = 0
     while True:
-        fm_rounds += _improve_until_stable(
-            state, constraint, strategy, rng, max_fm_passes, max_rounds, history
-        )
+        with recorder.phase("partition.refine"):
+            fm_rounds += _improve_until_stable(
+                state, constraint, strategy, rng, max_fm_passes, max_rounds,
+                history, recorder,
+            )
         if constraint.satisfied(state.part_weight):
             break
         # first try to repair the load at the current granularity —
         # flattening is only warranted when the existing grains cannot
         # be packed into the admissible band
-        _redistribute(state, constraint, history)
+        with recorder.phase("partition.rebalance"):
+            _redistribute(state, constraint, history, recorder)
         if constraint.satisfied(state.part_weight):
             continue  # re-run FM on the repaired partition, then re-check
         # constraint still violated: flatten the largest super-gate
@@ -170,18 +186,30 @@ def design_driven_partition(
         if flatten_steps >= max_flatten_steps:
             history.append("flatten budget exhausted; returning unbalanced")
             break
-        target = _flatten_candidate(clustering, state, constraint)
-        if target is None:
+        with recorder.phase("partition.flatten"):
+            target = _flatten_candidate(clustering, state, constraint)
+            if target is None:
+                target_found = False
+            else:
+                target_found = True
+                clustering, state = _flatten_and_carry(clustering, state, target)
+        if not target_found:
             # nothing left to flatten: final greedy load repair
-            _final_rebalance(state, constraint, history)
+            with recorder.phase("partition.rebalance"):
+                _final_rebalance(state, constraint, history, recorder)
             break
-        clustering, state = _flatten_and_carry(clustering, state, target)
         flatten_steps += 1
+        if recorder.enabled:
+            recorder.incr("part.flatten.steps")
         history.append(
             f"flatten step {flatten_steps}: vertex {target} -> "
             f"{len(clustering)} clusters; cut={state.cut_size}"
         )
-        _redistribute(state, constraint, history)
+        with recorder.phase("partition.rebalance"):
+            _redistribute(state, constraint, history, recorder)
+
+    if recorder.enabled:
+        recorder.incr("part.rounds", fm_rounds)
 
     return MultiwayResult(
         clustering=clustering,
@@ -205,6 +233,7 @@ def _improve_until_stable(
     max_fm_passes: int,
     max_rounds: int,
     history: list[str],
+    recorder: Recorder = NULL_RECORDER,
 ) -> int:
     """Pairing + FM rounds until no pair yields gain (Figure 2 loop)."""
     rounds = 0
@@ -212,7 +241,10 @@ def _improve_until_stable(
         pairs = strategy(state, rng)
         round_gain = 0
         for a, b in pairs:
-            result = refine_pair(state, a, b, constraint, max_passes=max_fm_passes)
+            result = refine_pair(
+                state, a, b, constraint, max_passes=max_fm_passes,
+                recorder=recorder,
+            )
             round_gain += result.gain
         rounds += 1
         if round_gain <= 0:
@@ -270,9 +302,12 @@ def _redistribute(
     state: PartitionState,
     constraint: BalanceConstraint,
     history: list[str],
+    recorder: Recorder = NULL_RECORDER,
 ) -> None:
     """Repair over- and under-weight partitions by moving the current
     granularity's grains from the heaviest toward the lightest."""
+    if recorder.enabled:
+        recorder.incr("part.redistribute.calls")
     lo, hi = constraint.bounds(state.hg.total_weight)
     for _ in range(2 * state.k):
         heavy = int(np.argmax(state.part_weight))
@@ -281,7 +316,7 @@ def _redistribute(
             break
         if state.part_weight[heavy] <= hi and state.part_weight[light] >= lo:
             break
-        moved = rebalance_pair(state, heavy, light, constraint)
+        moved = rebalance_pair(state, heavy, light, constraint, recorder=recorder)
         if moved == 0:
             break
         history.append(
@@ -294,6 +329,7 @@ def _final_rebalance(
     state: PartitionState,
     constraint: BalanceConstraint,
     history: list[str],
+    recorder: Recorder = NULL_RECORDER,
 ) -> None:
     """Last-resort repair when no super-gate remains to flatten."""
     lo, hi = constraint.bounds(state.hg.total_weight)
@@ -303,7 +339,7 @@ def _final_rebalance(
         light = int(np.argmin(weights))
         if (weights[heavy] <= hi and weights[light] >= lo) or heavy == light:
             break
-        if rebalance_pair(state, heavy, light, constraint) == 0:
+        if rebalance_pair(state, heavy, light, constraint, recorder=recorder) == 0:
             break
     history.append(
         f"final rebalance: loads={state.part_weight.tolist()}, "

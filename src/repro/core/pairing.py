@@ -24,6 +24,7 @@ import numpy as np
 
 from ..errors import ConfigError
 from ..hypergraph.partition_state import PartitionState
+from ..obs.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["pairing_strategy", "PAIRING_STRATEGIES", "estimate_pair_gain"]
 
@@ -116,12 +117,33 @@ PAIRING_STRATEGIES: dict[str, Callable[[PartitionState, np.random.Generator], li
 }
 
 
-def pairing_strategy(name: str) -> Callable[[PartitionState, np.random.Generator], list[tuple[int, int]]]:
-    """Look up a pairing strategy by name (see :data:`PAIRING_STRATEGIES`)."""
+def pairing_strategy(
+    name: str,
+    recorder: Recorder = NULL_RECORDER,
+) -> Callable[[PartitionState, np.random.Generator], list[tuple[int, int]]]:
+    """Look up a pairing strategy by name (see :data:`PAIRING_STRATEGIES`).
+
+    When an enabled ``recorder`` (:mod:`repro.obs`) is supplied the
+    returned callable also counts ``part.pairing.rounds`` (one per
+    invocation) and ``part.pairing.pairs`` (pairs proposed); the
+    default no-op recorder returns the raw strategy unchanged.
+    """
     try:
-        return PAIRING_STRATEGIES[name]
+        strategy = PAIRING_STRATEGIES[name]
     except KeyError:
         raise ConfigError(
             f"unknown pairing strategy {name!r}; choose from "
             f"{sorted(PAIRING_STRATEGIES)}"
         )
+    if not recorder.enabled:
+        return strategy
+
+    def counted(
+        state: PartitionState, rng: np.random.Generator
+    ) -> list[tuple[int, int]]:
+        pairs = strategy(state, rng)
+        recorder.incr("part.pairing.rounds")
+        recorder.incr("part.pairing.pairs", len(pairs))
+        return pairs
+
+    return counted

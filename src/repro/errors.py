@@ -73,3 +73,8 @@ class SimulationError(ReproError):
 
 class ConfigError(ReproError):
     """Raised for invalid experiment / benchmark configuration values."""
+
+
+class MetricsError(ReproError):
+    """Raised when a metrics document fails schema validation
+    (see :mod:`repro.obs.metrics` and ``docs/observability.md``)."""

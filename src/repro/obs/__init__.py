@@ -1,0 +1,78 @@
+"""repro.obs — the unified observability layer.
+
+One subsystem owns every measurement concern of the reproduction:
+
+* :mod:`repro.obs.recorder` — counters, maxima and phase timers behind
+  a :class:`Recorder` interface; :data:`NULL_RECORDER` makes all
+  instrumentation zero-cost when off.
+* :mod:`repro.obs.trace` — a bounded, deterministic event ring buffer
+  (:class:`TraceBuffer`) the Time Warp kernel can dump as JSONL to
+  debug rollback cascades.
+* :mod:`repro.obs.metrics` — schema-versioned JSON metrics documents:
+  build (:func:`metrics_document`), validate (:func:`validate_metrics`),
+  canonical write/read, and :func:`strip_volatile` for byte-exact
+  determinism comparisons.
+* :mod:`repro.obs.registry` — the metric-name registry rendered in
+  ``docs/observability.md`` and enforced by the test suite.
+
+Design rules (enforced by tests):
+
+1. **Zero cost when off** — every instrumented function defaults to
+   :data:`NULL_RECORDER`/no trace; results are bit-identical with
+   observability on or off.
+2. **Deterministic** — counters, traces and metric JSON carry modeled
+   or structural quantities only; ``generated_at`` (and the opt-in
+   ``host_timings``) are the sole wall-clock fields, stamped outside
+   the deterministic core.
+
+Quickstart::
+
+    from repro.obs import MetricsRecorder, TraceBuffer, metrics_document
+
+    rec, trace = MetricsRecorder(), TraceBuffer()
+    report = run_partitioned(..., recorder=rec, trace=trace)
+    doc = metrics_document("my_run", kind="run", recorder=rec)
+    trace.dump("trace.jsonl")
+"""
+
+from .recorder import (
+    Recorder,
+    NullRecorder,
+    MetricsRecorder,
+    PhaseStats,
+    NULL_RECORDER,
+)
+from .trace import TraceBuffer, TraceEvent, TRACE_EVENT_KINDS
+from .metrics import (
+    METRICS_SCHEMA_VERSION,
+    MetricsError,
+    metrics_document,
+    validate_metrics,
+    dumps_metrics,
+    write_metrics,
+    read_metrics,
+    strip_volatile,
+)
+from .registry import METRIC_REGISTRY, PHASE_REGISTRY, is_registered
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "MetricsRecorder",
+    "PhaseStats",
+    "NULL_RECORDER",
+    "TraceBuffer",
+    "TraceEvent",
+    "TRACE_EVENT_KINDS",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsError",
+    "metrics_document",
+    "validate_metrics",
+    "dumps_metrics",
+    "write_metrics",
+    "read_metrics",
+    "strip_volatile",
+    "METRIC_REGISTRY",
+    "PHASE_REGISTRY",
+    "is_registered",
+]

@@ -1,0 +1,181 @@
+"""Metric recorders: the write side of the observability layer.
+
+Instrumented code (the partitioner, the Time Warp kernel, the bench
+harness) talks to a :class:`Recorder` and never decides *whether*
+anything is recorded — that choice belongs to the caller, who passes
+either the shared :data:`NULL_RECORDER` (every method is a ``pass``;
+instrumentation costs one attribute call) or a :class:`MetricsRecorder`
+that accumulates counters, maxima and phase statistics for export via
+:mod:`repro.obs.metrics`.
+
+Determinism contract
+--------------------
+Counters, maxima and phase *call counts* may only be fed modeled or
+structural quantities (event counts, cut sizes, modeled seconds), so
+two runs with identical inputs produce identical values — the property
+the determinism tests pin.  Host wall-clock durations are quarantined
+in a separate ``host_seconds`` channel that the canonical JSON dump
+excludes by default (see :func:`repro.obs.metrics.metrics_document`).
+
+Metric names are dotted lowercase paths (``tw.rollbacks``,
+``part.fm.moves``); the well-known ones are listed in
+:data:`repro.obs.registry.METRIC_REGISTRY` and documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Recorder", "NullRecorder", "MetricsRecorder", "PhaseStats",
+           "NULL_RECORDER"]
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated statistics of one named phase.
+
+    ``calls`` is deterministic (it counts phase entries); ``host_seconds``
+    is host wall time and therefore excluded from deterministic dumps.
+    """
+
+    calls: int = 0
+    host_seconds: float = 0.0
+
+
+class Recorder:
+    """Base interface; every method is a no-op.
+
+    Subclasses override what they care about.  The interface is
+    deliberately tiny — three verbs cover the whole codebase:
+
+    * :meth:`incr` — add to a monotone counter;
+    * :meth:`observe_max` — track the maximum of a quantity;
+    * :meth:`phase` — context manager bracketing one named phase
+      (counts entries; a :class:`MetricsRecorder` also accumulates
+      host wall time for profiling, outside the deterministic core).
+    """
+
+    __slots__ = ()
+
+    #: False for the null recorder — lets hot loops skip building
+    #: expensive arguments (``if rec.enabled: rec.incr(...)``).
+    enabled = False
+
+    def incr(self, name: str, value: int | float = 1) -> None:
+        """Add ``value`` to counter ``name`` (creating it at 0)."""
+
+    def observe_max(self, name: str, value: int | float) -> None:
+        """Record ``value`` if it exceeds the current maximum of ``name``."""
+
+    def phase(self, name: str) -> "_PhaseContext":
+        """Context manager entering phase ``name``."""
+        return _NULL_PHASE
+
+
+class _PhaseContext:
+    """Null phase context (shared singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_PHASE = _PhaseContext()
+
+
+class NullRecorder(Recorder):
+    """The zero-cost-when-off recorder: every method inherited, all no-ops.
+
+    Use the module-level :data:`NULL_RECORDER` singleton rather than
+    constructing new instances.
+    """
+
+    __slots__ = ()
+
+
+#: Shared no-op recorder — the default for every instrumented function.
+NULL_RECORDER = NullRecorder()
+
+
+class _TimedPhase:
+    __slots__ = ("_recorder", "_name", "_t0")
+
+    def __init__(self, recorder: "MetricsRecorder", name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self):
+        self._t0 = self._recorder._clock()
+        return self
+
+    def __exit__(self, *exc):
+        dt = self._recorder._clock() - self._t0
+        stats = self._recorder.phases.setdefault(self._name, PhaseStats())
+        stats.calls += 1
+        stats.host_seconds += dt
+        return False
+
+
+class MetricsRecorder(Recorder):
+    """Accumulating recorder backing the metrics JSON export.
+
+    Parameters
+    ----------
+    clock:
+        Callable returning seconds, used only for the non-deterministic
+        ``host_seconds`` of phases; defaults to
+        :func:`time.perf_counter`.  Tests inject a fake clock.
+    """
+
+    __slots__ = ("counters", "maxima", "phases", "_clock")
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        #: monotone counters, name -> value
+        self.counters: dict[str, int | float] = {}
+        #: running maxima, name -> value
+        self.maxima: dict[str, int | float] = {}
+        #: phase statistics, name -> PhaseStats
+        self.phases: dict[str, PhaseStats] = {}
+        self._clock = clock
+
+    def incr(self, name: str, value: int | float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe_max(self, name: str, value: int | float) -> None:
+        cur = self.maxima.get(name)
+        if cur is None or value > cur:
+            self.maxima[name] = value
+
+    def phase(self, name: str) -> _TimedPhase:
+        return _TimedPhase(self, name)
+
+    # -- export -----------------------------------------------------------
+
+    def as_counters(self) -> dict[str, int | float]:
+        """Deterministic flat view: counters, maxima (suffixed
+        ``.max``) and phase call counts (suffixed ``.calls``), merged
+        into one sorted mapping — the shape
+        :func:`repro.obs.metrics.metrics_document` consumes."""
+        out: dict[str, int | float] = dict(self.counters)
+        for name, v in self.maxima.items():
+            out[f"{name}.max"] = v
+        for name, stats in self.phases.items():
+            out[f"{name}.calls"] = stats.calls
+        return dict(sorted(out.items()))
+
+    def host_timings(self) -> dict[str, float]:
+        """Host wall seconds per phase — profiling only, never part of
+        the deterministic metrics dump."""
+        return {
+            name: stats.host_seconds
+            for name, stats in sorted(self.phases.items())
+        }

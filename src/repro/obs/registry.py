@@ -1,0 +1,85 @@
+"""Metric name registry: every well-known counter in one place.
+
+Names are dotted lowercase paths grouped by subsystem prefix —
+``part.*`` for the partitioner, ``tw.*`` for the Time Warp kernel,
+``seq.*`` for the sequential baseline, ``bench.*`` for harness-level
+quantities.  Two derived suffixes are conventions, not separate
+registrations: ``<name>.max`` (a running maximum recorded via
+:meth:`~repro.obs.recorder.Recorder.observe_max`) and
+``<phase>.calls`` (phase entry counts).
+
+The registry is documentation-with-teeth: ``docs/observability.md``
+renders it, and the test suite asserts that every counter the
+instrumented code emits is registered here (or is a derived suffix of a
+registered name), so a metric cannot silently drift out of the docs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["METRIC_REGISTRY", "PHASE_REGISTRY", "is_registered"]
+
+#: counter / maximum names -> one-line meaning
+METRIC_REGISTRY: dict[str, str] = {
+    # -- partitioner (repro.core) -----------------------------------------
+    "part.cone.cones": "input cones discovered by cone partitioning",
+    "part.cone.roots": "clusters fed directly by a primary input",
+    "part.cone.orphan_vertices": "vertices unreachable from any input, packed last",
+    "part.pairing.rounds": "pairing rounds requested by the multiway driver",
+    "part.pairing.pairs": "partition pairs handed to FM across all rounds",
+    "part.fm.passes": "FM passes executed (all pairs, all rounds)",
+    "part.fm.moves": "vertex moves retained after best-prefix rollback",
+    "part.fm.gain": "total realized cut gain across all FM passes",
+    "part.fm.rebalance_moves": "vertices moved by balance repair (rebalance_pair)",
+    "part.flatten.steps": "super-gates flattened to meet Formula 1",
+    "part.redistribute.calls": "load-redistribution repairs attempted",
+    "part.rounds": "pairing+FM improvement rounds until stability",
+    "part.cut_size": "final hyperedge cut of the partition",
+    "part.balanced": "1 when Formula 1 was met, else 0",
+    # -- Time Warp kernel (repro.sim) -------------------------------------
+    "tw.messages_sent": "positive inter-machine messages transmitted",
+    "tw.anti_messages_sent": "anti-messages transmitted (cancellations)",
+    "tw.env_messages": "stimulus messages pre-loaded from the environment LP",
+    "tw.processed_events": "gate events processed (including later-undone work)",
+    "tw.committed_events": "gate events surviving rollback (== sequential count)",
+    "tw.rollbacks": "rollback episodes across all LPs",
+    "tw.rolled_back_events": "gate events undone by rollbacks",
+    "tw.straggler_depth": "virtual-time depth of a straggler below LP time (use .max)",
+    "tw.gvt_rounds": "GVT computation / fossil-collection rounds",
+    "tw.migrations": "dynamic LP migrations between machines",
+    "tw.peak_checkpoint_bytes": "peak total checkpoint memory across LPs",
+    "tw.wall_time": "modeled parallel wall time (max machine clock, seconds)",
+    "tw.speedup": "modeled sequential wall over modeled parallel wall",
+    # -- sequential baseline ----------------------------------------------
+    "seq.gate_evals": "gate events of the sequential reference run",
+    "seq.wall_time": "modeled sequential wall time (seconds)",
+    # -- bench harness ----------------------------------------------------
+    "bench.rows": "result rows produced by the benchmark",
+    "bench.shape_checks_passed": "qualitative paper claims that held",
+    "bench.shape_checks_failed": "qualitative paper claims that failed",
+    "bench.brute_force_runs": "pre-simulation cells evaluated by brute force",
+    "bench.heuristic_runs": "cells the Figure-3 heuristic actually ran",
+    "bench.runs_saved": "pre-simulation runs the heuristic avoided",
+    "bench.speedup_gap": "brute-force best speedup minus heuristic best",
+}
+
+#: phase names (recorded as "<name>.calls" in counter views and as host
+#: wall seconds in the opt-in host_timings channel)
+PHASE_REGISTRY: dict[str, str] = {
+    "partition.initial": "cone (or random) initial partition construction",
+    "partition.refine": "one pairing + pairwise-FM improvement cycle",
+    "partition.flatten": "super-gate flattening + assignment carry-over",
+    "partition.rebalance": "load redistribution / final balance repair",
+    "tw.run": "the Time Warp main loop, load to termination",
+}
+
+
+def is_registered(name: str) -> bool:
+    """Whether ``name`` is a registered metric, a registered phase's
+    ``.calls`` counter, or a registered metric's ``.max`` maximum."""
+    if name in METRIC_REGISTRY:
+        return True
+    if name.endswith(".max") and name[:-4] in METRIC_REGISTRY:
+        return True
+    if name.endswith(".calls") and name[:-6] in PHASE_REGISTRY:
+        return True
+    return False

@@ -28,7 +28,7 @@ import numpy as np
 
 from ..errors import ConfigError
 
-__all__ = ["ClusterSpec", "TimeWarpConfig", "MachineStats", "RunStats"]
+__all__ = ["ClusterSpec", "TimeWarpConfig", "MachineStats", "LPStats", "RunStats"]
 
 
 @dataclass(frozen=True)
@@ -181,7 +181,11 @@ class TimeWarpConfig:
 
 @dataclass
 class MachineStats:
-    """Per-machine counters accumulated during a run."""
+    """Per-machine counters accumulated during a run.
+
+    ``wall_time``/``busy_time`` are modeled seconds; their difference
+    is idle (blocked or starved) time.  All fields are deterministic.
+    """
 
     wall_time: float = 0.0
     busy_time: float = 0.0
@@ -190,6 +194,71 @@ class MachineStats:
     msgs_sent: int = 0
     rollbacks: int = 0
 
+    def to_dict(self) -> dict:
+        """Plain-scalar view for the metrics JSON export."""
+        return {
+            "wall_time": self.wall_time,
+            "busy_time": self.busy_time,
+            "batches": self.batches,
+            "gate_evals": self.gate_evals,
+            "msgs_sent": self.msgs_sent,
+            "rollbacks": self.rollbacks,
+        }
+
+
+@dataclass
+class LPStats:
+    """Per-LP counters accumulated during a run.
+
+    One entry per cluster LP, in LP-id order (``RunStats.lps``).  The
+    kernel fills these as it executes; they are the per-LP resolution
+    behind the aggregate ``tw.*`` metrics — a rollback cascade shows up
+    here as one LP with an outsized ``rollbacks``/``undone_events``
+    share long before a trace dump is needed.
+
+    Attributes
+    ----------
+    lid:
+        LP id (index into the engine's LP table).
+    batches:
+        Timestamp batches executed (including later-undone ones).
+    gate_evals:
+        Gate events processed (including later-undone ones).
+    rollbacks:
+        Rollback episodes this LP suffered.
+    undone_events:
+        Gate events this LP rolled back.
+    msgs_sent:
+        Positive messages this LP emitted (inter-LP, any machine).
+    antis_sent:
+        Anti-messages this LP emitted.
+    max_straggler_depth:
+        Deepest straggler in virtual-time ticks: LP local virtual time
+        minus the straggler's receive time, maximized over rollbacks.
+    """
+
+    lid: int = 0
+    batches: int = 0
+    gate_evals: int = 0
+    rollbacks: int = 0
+    undone_events: int = 0
+    msgs_sent: int = 0
+    antis_sent: int = 0
+    max_straggler_depth: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain-scalar view for the metrics JSON export."""
+        return {
+            "lid": self.lid,
+            "batches": self.batches,
+            "gate_evals": self.gate_evals,
+            "rollbacks": self.rollbacks,
+            "undone_events": self.undone_events,
+            "msgs_sent": self.msgs_sent,
+            "antis_sent": self.antis_sent,
+            "max_straggler_depth": self.max_straggler_depth,
+        }
+
 
 @dataclass
 class RunStats:
@@ -197,6 +266,14 @@ class RunStats:
 
     ``speedup`` and ``sequential_wall_time`` are filled in by the
     engine when a sequential baseline is supplied or computed.
+
+    All values are deterministic: identical inputs (circuit, clusters,
+    placement, spec, config, stimulus) reproduce them bit-for-bit.
+    ``machines`` holds one :class:`MachineStats` per machine and
+    ``lps`` one :class:`LPStats` per cluster LP; :meth:`to_counters`
+    flattens the aggregates into the ``tw.*`` metric names of
+    ``docs/observability.md`` and :meth:`to_dict` produces the full
+    structured export (aggregates + per-machine + per-LP).
     """
 
     num_machines: int = 0
@@ -213,7 +290,9 @@ class RunStats:
     gvt_rounds: int = 0
     migrations: int = 0
     peak_checkpoint_bytes: int = 0
+    max_straggler_depth: int = 0
     machines: list[MachineStats] = field(default_factory=list)
+    lps: list[LPStats] = field(default_factory=list)
 
     def efficiency(self) -> float:
         """Parallel efficiency: speedup / machines."""
@@ -238,3 +317,34 @@ class RunStats:
             1.0 - m.busy_time / self.wall_time for m in self.machines
         ]
         return float(np.mean(fracs))
+
+    def to_counters(self) -> dict[str, int | float]:
+        """Aggregates flattened to the registered ``tw.*`` metric names
+        (see :mod:`repro.obs.registry`) — the shape
+        :func:`repro.obs.metrics.metrics_document` consumes."""
+        return {
+            "tw.messages_sent": self.messages,
+            "tw.anti_messages_sent": self.anti_messages,
+            "tw.env_messages": self.env_messages,
+            "tw.processed_events": self.processed_events,
+            "tw.committed_events": self.committed_events,
+            "tw.rollbacks": self.rollbacks,
+            "tw.rolled_back_events": self.rolled_back_events,
+            "tw.straggler_depth.max": self.max_straggler_depth,
+            "tw.gvt_rounds": self.gvt_rounds,
+            "tw.migrations": self.migrations,
+            "tw.peak_checkpoint_bytes": self.peak_checkpoint_bytes,
+            "tw.wall_time": self.wall_time,
+            "tw.speedup": self.speedup,
+            "seq.wall_time": self.sequential_wall_time,
+        }
+
+    def to_dict(self) -> dict:
+        """Full structured export: aggregate counters plus per-machine
+        and per-LP breakdowns.  Deterministic (no wall-clock fields)."""
+        return {
+            "num_machines": self.num_machines,
+            "counters": self.to_counters(),
+            "machines": [m.to_dict() for m in self.machines],
+            "lps": [lp.to_dict() for lp in self.lps],
+        }

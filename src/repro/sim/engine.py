@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..obs.recorder import NULL_RECORDER, Recorder
+from ..obs.trace import TraceBuffer
 from ..verilog.netlist import Netlist
 from .cluster import ClusterSpec, RunStats, TimeWarpConfig
 from .compiled import CompiledCircuit, compile_circuit
@@ -35,7 +37,10 @@ class SimulationReport:
 
     ``speedup`` is modeled-sequential-wall over modeled-parallel-wall;
     the remaining fields mirror the paper's Tables 3/5 and Figures 6/7
-    columns.
+    columns.  ``run_stats`` keeps the full kernel breakdown (aggregate,
+    per-machine and per-LP counters); :meth:`to_counters` flattens the
+    report to the registered metric names for a
+    :func:`repro.obs.metrics.metrics_document`.
     """
 
     num_machines: int
@@ -52,6 +57,13 @@ class SimulationReport:
     seq_stats: SeqStats
     run_stats: RunStats
     verified: bool
+
+    def to_counters(self) -> dict[str, int | float]:
+        """Deterministic flat metric view (``tw.*`` + ``seq.*`` names
+        from :mod:`repro.obs.registry`)."""
+        out = self.run_stats.to_counters()
+        out["seq.gate_evals"] = self.seq_stats.gate_evals
+        return out
 
 
 def run_sequential_baseline(
@@ -76,6 +88,8 @@ def run_partitioned(
     config: TimeWarpConfig = TimeWarpConfig(),
     verify: bool = True,
     sequential: SequentialSimulator | None = None,
+    recorder: Recorder = NULL_RECORDER,
+    trace: TraceBuffer | None = None,
 ) -> SimulationReport:
     """Simulate a partitioned circuit on the virtual cluster.
 
@@ -95,6 +109,18 @@ def run_partitioned(
     sequential:
         A pre-run sequential simulator over the *same events*, to avoid
         re-running the baseline across a (k, b) sweep.
+    recorder:
+        Observability sink (:mod:`repro.obs`); receives the kernel's
+        ``tw.*``/``seq.*`` counters and the ``tw.run`` phase.  The
+        default :data:`~repro.obs.recorder.NULL_RECORDER` records
+        nothing at zero cost; a recorder never changes results.
+    trace:
+        Optional bounded :class:`~repro.obs.trace.TraceBuffer`
+        capturing per-event kernel history (exec/send/rollback/gvt/
+        migrate) for offline JSONL analysis.
+
+    Returns a :class:`SimulationReport`; all its quantities are modeled
+    and deterministic for fixed inputs.
     """
     if isinstance(netlist_or_circuit, CompiledCircuit):
         circuit = netlist_or_circuit
@@ -104,15 +130,21 @@ def run_partitioned(
         sequential, seq_wall = run_sequential_baseline(circuit, events, spec)
     else:
         seq_wall = sequential.stats.gate_evals * spec.event_cost
-    engine = TimeWarpEngine(circuit, clusters, lp_machine, spec, config)
+    engine = TimeWarpEngine(circuit, clusters, lp_machine, spec, config,
+                            trace=trace)
     engine.load_inputs(events)
-    stats = engine.run()
+    with recorder.phase("tw.run"):
+        stats = engine.run()
     stats.sequential_wall_time = seq_wall
     stats.speedup = seq_wall / stats.wall_time if stats.wall_time > 0 else 0.0
     verified = False
     if verify:
         engine.verify_against_sequential(sequential)
         verified = True
+    if recorder.enabled:
+        for name, value in stats.to_counters().items():
+            recorder.incr(name, value)
+        recorder.incr("seq.gate_evals", sequential.stats.gate_evals)
     return SimulationReport(
         num_machines=spec.num_machines,
         sequential_wall_time=seq_wall,

@@ -25,7 +25,8 @@ import heapq
 from typing import Iterable, Sequence
 
 from ..errors import SimulationError
-from .cluster import ClusterSpec, MachineStats, RunStats, TimeWarpConfig
+from ..obs.trace import TraceBuffer
+from .cluster import ClusterSpec, LPStats, MachineStats, RunStats, TimeWarpConfig
 from .compiled import CompiledCircuit
 from .events import InputEvent, Message
 from .lp import ClusterLP
@@ -65,6 +66,14 @@ class TimeWarpEngine:
         Virtual cluster hardware model.
     config:
         Kernel tuning (checkpoint/GVT intervals, cancellation policy).
+    trace:
+        Optional :class:`~repro.obs.trace.TraceBuffer`; when given, the
+        engine emits one event per batch execution, message routing,
+        rollback, GVT round, migration and throttle transition — the
+        debugging trail for rollback cascades (``docs/observability.md``
+        walks through one).  ``None`` (default) disables tracing at
+        zero cost; traced quantities are all modeled, so a trace never
+        perturbs results and identical runs dump identical JSONL.
     """
 
     def __init__(
@@ -74,6 +83,7 @@ class TimeWarpEngine:
         lp_machine: Sequence[int],
         spec: ClusterSpec,
         config: TimeWarpConfig = TimeWarpConfig(),
+        trace: TraceBuffer | None = None,
     ) -> None:
         if len(clusters) != len(lp_machine):
             raise SimulationError(
@@ -114,6 +124,8 @@ class TimeWarpEngine:
         for lid, m in enumerate(self.lp_machine):
             self.machines[m].lp_ids.append(lid)
         self.stats = RunStats(num_machines=spec.num_machines)
+        self.stats.lps = [LPStats(lid=lid) for lid in range(len(self.lps))]
+        self._trace = trace
         self._arrival_serial = 0
         self._gate_lp = self._gate_to_lp(clusters)
         self._gvt_estimate = -1
@@ -375,25 +387,50 @@ class TimeWarpEngine:
                 removed = self._inflight_removed
                 removed[msg.recv_time] = removed.get(msg.recv_time, 0) + 1
             lp = self.lps[msg.dst_lp]
+            depth = lp.lvt - msg.recv_time  # >= 0 iff msg is a straggler
             if msg.sign > 0:
                 rollback = lp.insert_positive(msg)
             else:
                 rollback = lp.insert_anti(msg)
             if rollback is not None:
-                self._account_rollback(machine, lp, rollback)
+                self._account_rollback(machine, lp, rollback, msg, depth)
             self._mark_ready(lp)
 
-    def _account_rollback(self, machine, lp: ClusterLP, rollback) -> None:
+    def _account_rollback(
+        self, machine, lp: ClusterLP, rollback, straggler: Message, depth: int
+    ) -> None:
         spec = self.spec
-        self.stats.rollbacks += 1
+        stats = self.stats
+        stats.rollbacks += 1
         machine.stats.rollbacks += 1
-        self.stats.rolled_back_events += rollback.undone_events
+        stats.rolled_back_events += rollback.undone_events
+        lp_stats = stats.lps[lp.lid]
+        lp_stats.rollbacks += 1
+        lp_stats.undone_events += rollback.undone_events
+        if depth > lp_stats.max_straggler_depth:
+            lp_stats.max_straggler_depth = depth
+        if depth > stats.max_straggler_depth:
+            stats.max_straggler_depth = depth
         cost = spec.rollback_overhead + rollback.undone_events * spec.undo_cost
         for anti in rollback.anti_messages:
             cost += self._route(machine, anti)
         machine.wall += cost
         machine.stats.busy_time += cost
         self._lp_recent_rollbacks[lp.lid] += 1
+        if self._trace is not None:
+            self._trace.emit(
+                "rollback",
+                machine=machine.mid,
+                lp=lp.lid,
+                straggler_vt=straggler.recv_time,
+                straggler_src=straggler.src_lp,
+                sign=straggler.sign,
+                restored_to=rollback.restored_to,
+                undone=rollback.undone_events,
+                antis=len(rollback.anti_messages),
+                depth=depth,
+                wall=machine.wall,
+            )
 
     def _execute_on(self, machine: _Machine, lid: int) -> None:
         spec = self.spec
@@ -413,7 +450,20 @@ class TimeWarpEngine:
         machine.stats.batches += 1
         machine.stats.gate_evals += result.gate_evals
         self.stats.processed_events += result.gate_evals
+        lp_stats = self.stats.lps[lid]
+        lp_stats.batches += 1
+        lp_stats.gate_evals += result.gate_evals
         self._lp_recent_evals[lid] += result.gate_evals
+        if self._trace is not None:
+            self._trace.emit(
+                "exec",
+                machine=machine.mid,
+                lp=lid,
+                vt=result.vt,
+                evals=result.gate_evals,
+                sends=len(result.sends),
+                wall=machine.wall,
+            )
         self._mark_ready(lp)
 
     def _route(self, src_machine: _Machine, msg: Message) -> float:
@@ -429,7 +479,30 @@ class TimeWarpEngine:
         self._arrival_serial += 1
         if self._conservative:
             heapq.heappush(self._inflight_recv, msg.recv_time)
-        if dst_machine is src_machine:
+        if msg.src_lp >= 0:
+            # per-LP send accounting is placement-independent: every
+            # inter-LP message counts, local or remote
+            lp_stats = self.stats.lps[msg.src_lp]
+            if msg.sign > 0:
+                lp_stats.msgs_sent += 1
+            else:
+                lp_stats.antis_sent += 1
+        local = dst_machine is src_machine
+        if self._trace is not None:
+            self._trace.emit(
+                "send",
+                src_machine=src_machine.mid,
+                dst_machine=dst_machine.mid,
+                src_lp=msg.src_lp,
+                dst_lp=msg.dst_lp,
+                net=msg.net,
+                recv_time=msg.recv_time,
+                sign=msg.sign,
+                uid=msg.uid,
+                local=local,
+                wall=src_machine.wall,
+            )
+        if local:
             # intra-machine: a queue insert, no network, no CPU charge
             heapq.heappush(
                 dst_machine.arrivals, (src_machine.wall, self._arrival_serial, msg)
@@ -488,6 +561,7 @@ class TimeWarpEngine:
 
         # stall detection: if GVT refuses to advance (aggressive-mode
         # rollback echo), clamp optimism until it moves again
+        throttle_before = self._emergency_throttle
         if gvt <= self._gvt_estimate and gvt < (1 << 62):
             self._stalled_rounds += 1
             if self._stalled_rounds >= self.config.stall_threshold:
@@ -495,6 +569,13 @@ class TimeWarpEngine:
         else:
             self._stalled_rounds = 0
             self._emergency_throttle = False
+        if self._trace is not None and self._emergency_throttle != throttle_before:
+            self._trace.emit(
+                "throttle",
+                engaged=self._emergency_throttle,
+                gvt=min(gvt, 1 << 62),
+                stalled_rounds=self._stalled_rounds,
+            )
         if gvt > self._gvt_estimate:
             self._gvt_estimate = gvt
 
@@ -504,6 +585,13 @@ class TimeWarpEngine:
             total_bytes += lp.checkpoint_bytes()
         if total_bytes > self.stats.peak_checkpoint_bytes:
             self.stats.peak_checkpoint_bytes = total_bytes
+        if self._trace is not None:
+            self._trace.emit(
+                "gvt",
+                round=self.stats.gvt_rounds,
+                gvt=gvt,
+                checkpoint_bytes=total_bytes,
+            )
 
         if self.config.adaptive_checkpointing:
             self._adapt_checkpoint_intervals()
@@ -578,6 +666,14 @@ class TimeWarpEngine:
         self._mark_ready(self.lps[lid])
         self.stats.migrations += 1
         self._migration_cooldown = self.config.migration_cooldown
+        if self._trace is not None:
+            self._trace.emit(
+                "migrate",
+                lp=lid,
+                src_machine=busiest,
+                dst_machine=calmest,
+                forwarded=len(moved),
+            )
 
     # -- verification -----------------------------------------------------------
 

@@ -31,6 +31,37 @@ class TestTopLevel:
         assert issubclass(repro.ParseError, repro.ReproError)
 
 
+class TestObservabilitySurface:
+    def test_all_exports_resolve_and_are_documented(self):
+        import repro.obs as obs
+
+        for name in obs.__all__:
+            member = getattr(obs, name)
+            if callable(member) and not isinstance(member, type):
+                assert member.__doc__, f"{name} lacks a docstring"
+
+    def test_instrumented_entry_points_document_recorder(self):
+        from repro.core import design_driven_partition
+        from repro.sim import run_partitioned
+
+        assert "recorder" in design_driven_partition.__doc__
+        assert "recorder" in run_partitioned.__doc__
+        assert "trace" in run_partitioned.__doc__
+
+    def test_null_recorder_shared_default(self):
+        import inspect
+
+        from repro.core import design_driven_partition
+        from repro.obs import NULL_RECORDER
+        from repro.sim import run_partitioned
+
+        for fn in (design_driven_partition, run_partitioned):
+            assert (
+                inspect.signature(fn).parameters["recorder"].default
+                is NULL_RECORDER
+            )
+
+
 class TestCombinationalDepth:
     def test_inverter_chain(self):
         n = 7
