@@ -13,20 +13,34 @@ non-zero if the committed EXPERIMENTS.md differs from what the current
 outputs would produce — i.e. someone changed a benchmark without
 regenerating the document.
 
+``--check --baseline DIR`` additionally runs the regression gate
+(``repro.obs.diffing``): every ``BENCH_*.json`` under ``benchmarks/out``
+is compared against its same-named counterpart in ``DIR`` and the check
+exits non-zero when any registered metric moved past its threshold in
+the bad direction (>10 % more ``tw.rollbacks``, a larger
+``part.cut_size``, a smaller ``tw.speedup``, ...).  The intended CI
+flow — the checked-in documents are the baseline::
+
+    git stash -- benchmarks/out && cp -r benchmarks/out /tmp/baseline \\
+        && git stash pop          # or: git worktree / a clean checkout
+    pytest benchmarks/ --benchmark-only -s        # fresh run
+    python benchmarks/make_experiments_md.py --check --baseline /tmp/baseline
+
 The document records paper-vs-measured for every table and figure plus
 the ablations, with the scaling context needed to read the comparison.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 from pathlib import Path
 
 try:
-    from repro.obs import MetricsError, read_metrics
+    from repro.obs import MetricsError, gate_directories, read_metrics
 except ImportError:  # direct script run without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
-    from repro.obs import MetricsError, read_metrics
+    from repro.obs import MetricsError, gate_directories, read_metrics
 
 OUT = Path(__file__).parent / "out"
 TARGET = Path(__file__).parent.parent / "EXPERIMENTS.md"
@@ -207,15 +221,39 @@ def build_document(errors: list[str] | None = None) -> tuple[str, list[str]]:
     return "\n".join(parts), missing
 
 
+def run_regression_gate(baseline: Path) -> int:
+    """Compare every BENCH_*.json in OUT against ``baseline``; 0 if ok."""
+    messages, ok = gate_directories(baseline, OUT)
+    for line in messages:
+        print(line)
+    if not ok:
+        print(f"error: regression gate failed against baseline {baseline}",
+              file=sys.stderr)
+        return 1
+    print(f"regression gate passed against baseline {baseline}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    check = "--check" in (argv if argv is not None else sys.argv[1:])
+    parser = argparse.ArgumentParser(
+        description="Assemble EXPERIMENTS.md from benchmarks/out")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify EXPERIMENTS.md is fresh instead of rewriting it")
+    parser.add_argument(
+        "--baseline", type=Path, metavar="DIR", default=None,
+        help="with --check: also gate benchmarks/out/BENCH_*.json against "
+             "the same-named baseline documents in DIR (repro.obs.diffing)")
+    args = parser.parse_args(argv)
+    if args.baseline is not None and not args.check:
+        parser.error("--baseline requires --check")
     errors: list[str] = []
     text, missing = build_document(errors)
     if errors:
         for e in errors:
             print(f"error: {e}", file=sys.stderr)
         return 1
-    if check:
+    if args.check:
         if not TARGET.exists():
             print(f"error: {TARGET} does not exist; run without --check "
                   "to generate it", file=sys.stderr)
@@ -227,6 +265,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{TARGET} is up to date")
         if missing:
             print("missing sections:", ", ".join(missing))
+        if args.baseline is not None:
+            return run_regression_gate(args.baseline)
         return 0
     TARGET.write_text(text)
     print(f"wrote {TARGET}")

@@ -10,6 +10,8 @@ without writing Python:
 * ``simulate`` — sequential reference simulation with random vectors
 * ``psim`` — partition + parallel (Time Warp) simulation with speedup
 * ``search`` — pre-simulation (k, b) selection, brute force or heuristic
+* ``obs`` — trace analysis & regression gates: ``report`` / ``diff`` /
+  ``hotspots`` / ``selfcheck`` over ``--trace`` / ``--metrics`` artifacts
 """
 
 from __future__ import annotations
@@ -102,6 +104,10 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--trace-capacity", type=int, default=65536,
                     help="event-trace ring-buffer size (default: 65536; "
                          "oldest events drop first)")
+    ps.add_argument("--progress", action="store_true",
+                    help="print a throttled live status line to stderr "
+                         "(GVT, events/sec, rollback rate); never "
+                         "changes results")
 
     sw = sub.add_parser("sweep", help="full (k, b) grid, optionally "
                                       "across processes")
@@ -127,6 +133,46 @@ def build_parser() -> argparse.ArgumentParser:
     se.add_argument("--seed", type=int, default=0)
     se.add_argument("--heuristic", action="store_true",
                     help="use the paper's Figure-3 search")
+
+    ob = sub.add_parser("obs", help="trace analysis & regression gates")
+    obsub = ob.add_subparsers(dest="obs_command", required=True)
+
+    orp = obsub.add_parser(
+        "report", help="full run diagnosis from a trace (+ metrics)")
+    orp.add_argument("trace", type=Path, help="JSONL trace (psim --trace)")
+    orp.add_argument("metrics", type=Path, nargs="?", default=None,
+                     help="metrics JSON of the same run (psim --metrics)")
+    orp.add_argument("--top", type=int, default=5,
+                     help="hotspot ranking length (default: 5)")
+
+    od = obsub.add_parser(
+        "diff", help="compare two metrics documents; optionally gate")
+    od.add_argument("old", type=Path, help="baseline metrics JSON")
+    od.add_argument("new", type=Path, help="candidate metrics JSON")
+    od.add_argument("--threshold", action="append", default=[],
+                    metavar="NAME=FRACTION",
+                    help="per-metric relative regression threshold "
+                         "(repeatable), e.g. tw.rollbacks=0.25")
+    od.add_argument("--default-threshold", type=float, default=None,
+                    metavar="FRACTION",
+                    help="threshold for metrics without an override "
+                         "(default: 0.10)")
+    od.add_argument("--fail-on-regression", action="store_true",
+                    help="exit non-zero when any metric regressed "
+                         "past its threshold")
+    od.add_argument("--json", action="store_true",
+                    help="print the machine-readable verdict instead "
+                         "of the text report")
+
+    oh = obsub.add_parser(
+        "hotspots", help="rank LPs by rollback concentration")
+    oh.add_argument("trace", type=Path, help="JSONL trace (psim --trace)")
+    oh.add_argument("--top", type=int, default=10,
+                    help="ranking length (default: 10)")
+
+    obsub.add_parser(
+        "selfcheck",
+        help="fast smoke test of every analyzer on built-in traces")
     return p
 
 
@@ -317,6 +363,11 @@ def _cmd_psim(args, out) -> int:
                 f"--trace-capacity must be >= 1, got {args.trace_capacity}"
             )
         trace = TraceBuffer(capacity=args.trace_capacity)
+    progress = None
+    if args.progress:
+        from .obs import ProgressHeartbeat
+
+        progress = ProgressHeartbeat()  # stderr, throttled
 
     netlist = _load(args)
     events = random_vectors(netlist, args.vectors, seed=args.seed)
@@ -340,7 +391,10 @@ def _cmd_psim(args, out) -> int:
         ),
         recorder=recorder,
         trace=trace,
+        progress=progress,
     )
+    if progress is not None:
+        progress.close()
     out.write(f"k={k} b={part.b} cut={part.cut_size} "
               f"balanced={part.balanced}\n")
     out.write(f"sequential time : {report.sequential_wall_time:.6f} s (modeled)\n")
@@ -433,6 +487,159 @@ def _cmd_search(args, out) -> int:
     return 0
 
 
+def _parse_thresholds(pairs: list[str]) -> dict[str, float]:
+    """Parse repeated ``--threshold NAME=FRACTION`` arguments."""
+    from .errors import ConfigError
+
+    out: dict[str, float] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise ConfigError(
+                f"--threshold expects NAME=FRACTION, got {pair!r}")
+        try:
+            out[name] = float(value)
+        except ValueError:
+            raise ConfigError(
+                f"--threshold {name}: {value!r} is not a number") from None
+    return out
+
+
+def _cmd_obs_report(args, out) -> int:
+    from .obs import analyze_run, load_trace, read_metrics
+
+    events = load_trace(args.trace)
+    metrics = read_metrics(args.metrics) if args.metrics is not None else None
+    out.write(analyze_run(events, metrics, top=args.top).render())
+    return 0
+
+
+def _cmd_obs_diff(args, out) -> int:
+    import json as _json
+
+    from .obs import DEFAULT_THRESHOLD, diff_metrics, read_metrics
+
+    result = diff_metrics(
+        read_metrics(args.old),
+        read_metrics(args.new),
+        thresholds=_parse_thresholds(args.threshold),
+        default_threshold=(args.default_threshold
+                           if args.default_threshold is not None
+                           else DEFAULT_THRESHOLD),
+    )
+    if args.json:
+        out.write(_json.dumps(result.verdict(), indent=2, sort_keys=True)
+                  + "\n")
+    else:
+        out.write(result.render())
+    if args.fail_on_regression and result.has_regressions:
+        return 1
+    return 0
+
+
+def _cmd_obs_hotspots(args, out) -> int:
+    from .obs import load_trace, rollback_hotspots
+
+    hotspots = rollback_hotspots(load_trace(args.trace), top=args.top)
+    if not hotspots:
+        out.write("no rollbacks in trace\n")
+        return 0
+    out.write(f"{'lp':>5} {'part':>5} {'rollbacks':>10} {'share':>7} "
+              f"{'undone':>7} {'antis':>6} {'depth':>6}\n")
+    for h in hotspots:
+        out.write(f"{h.lp:>5} {h.partition:>5} {h.rollbacks:>10} "
+                  f"{h.share:>6.1%} {h.undone:>7} {h.antis:>6} "
+                  f"{h.max_depth:>6}\n")
+    return 0
+
+
+def _cmd_obs_selfcheck(args, out) -> int:
+    """Exercise every analyzer on built-in synthetic artifacts.
+
+    A fast, dependency-free smoke path (also run by the test suite):
+    each check uses a hand-built trace or document with a known answer,
+    so a failure localizes the broken analyzer immediately.
+    """
+    from .errors import ReproError
+    from .obs import (
+        TraceBuffer,
+        analyze_run,
+        diff_metrics,
+        gvt_progress,
+        message_locality,
+        metrics_document,
+        parse_trace,
+        reconstruct_cascades,
+        rollback_hotspots,
+    )
+
+    checks = 0
+
+    def check(label: str, ok: bool) -> None:
+        nonlocal checks
+        if not ok:
+            raise ReproError(f"obs selfcheck failed: {label}")
+        checks += 1
+
+    buf = TraceBuffer()
+    buf.emit("send", src_machine=0, dst_machine=1, src_lp=0, dst_lp=1,
+             src_partition=0, dst_partition=1, net=3, recv_time=10,
+             sign=1, uid=7, local=False, wall=0.1)
+    buf.emit("send", src_machine=1, dst_machine=1, src_lp=1, dst_lp=2,
+             src_partition=1, dst_partition=1, net=4, recv_time=11,
+             sign=-1, uid=3, local=True, wall=0.2)
+    buf.emit("rollback", machine=1, lp=1, partition=1, straggler_vt=10,
+             straggler_src=0, src_partition=0, straggler_uid=7, sign=1,
+             restored_to=8, undone=5, antis=1, depth=2, wall=0.2)
+    buf.emit("rollback", machine=1, lp=2, partition=1, straggler_vt=11,
+             straggler_src=1, src_partition=1, straggler_uid=3, sign=-1,
+             restored_to=9, undone=2, antis=0, depth=1, wall=0.3)
+    buf.emit("gvt", round=1, gvt=5, checkpoint_bytes=64)
+    buf.emit("gvt", round=2, gvt=5, checkpoint_bytes=64)
+    buf.emit("gvt", round=3, gvt=9, checkpoint_bytes=48)
+    events = parse_trace(buf.to_jsonl())
+
+    cascades = reconstruct_cascades(events)
+    check("cascade count", len(cascades) == 1)
+    check("cascade shape", (cascades[0].depth, cascades[0].width,
+                            cascades[0].culprit_lp) == (2, 1, 0))
+    hotspots = rollback_hotspots(events)
+    check("hotspot ranking", [h.lp for h in hotspots] == [1, 2])
+    loc = message_locality(events)
+    check("locality matrix", loc.counts == ((0, 1), (0, 0))
+          and loc.anti_messages == 1)
+    gvt = gvt_progress(events)
+    check("gvt stalls", len(gvt.stalls) == 1
+          and gvt.stalls[0].rounds == 1)
+
+    doc = metrics_document(
+        "selfcheck", kind="custom",
+        counters={"tw.rollbacks": 4, "tw.processed_events": 100,
+                  "tw.committed_events": 90})
+    check("identity diff is empty", not diff_metrics(doc, doc).deltas)
+    doctored = {**doc, "counters": {**doc["counters"], "tw.rollbacks": 5}}
+    check("inflated rollbacks regress",
+          diff_metrics(doc, doctored).has_regressions)
+    check("report is deterministic",
+          analyze_run(events, doc).render() == analyze_run(
+              parse_trace(buf.to_jsonl()), doc).render())
+
+    out.write(f"obs selfcheck: ok ({checks} checks)\n")
+    return 0
+
+
+_OBS_COMMANDS = {
+    "report": _cmd_obs_report,
+    "diff": _cmd_obs_diff,
+    "hotspots": _cmd_obs_hotspots,
+    "selfcheck": _cmd_obs_selfcheck,
+}
+
+
+def _cmd_obs(args, out) -> int:
+    return _OBS_COMMANDS[args.obs_command](args, out)
+
+
 _COMMANDS = {
     "circuits": _cmd_circuits,
     "generate": _cmd_generate,
@@ -443,6 +650,7 @@ _COMMANDS = {
     "psim": _cmd_psim,
     "sweep": _cmd_sweep,
     "search": _cmd_search,
+    "obs": _cmd_obs,
 }
 
 

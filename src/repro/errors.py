@@ -78,3 +78,8 @@ class ConfigError(ReproError):
 class MetricsError(ReproError):
     """Raised when a metrics document fails schema validation
     (see :mod:`repro.obs.metrics` and ``docs/observability.md``)."""
+
+
+class TraceError(ReproError):
+    """Raised when a kernel trace dump cannot be parsed or analyzed
+    (see :mod:`repro.obs.analyze` and ``docs/observability.md``)."""

@@ -12,8 +12,17 @@ One subsystem owns every measurement concern of the reproduction:
   build (:func:`metrics_document`), validate (:func:`validate_metrics`),
   canonical write/read, and :func:`strip_volatile` for byte-exact
   determinism comparisons.
-* :mod:`repro.obs.registry` — the metric-name registry rendered in
-  ``docs/observability.md`` and enforced by the test suite.
+* :mod:`repro.obs.registry` — the metric-name and trace-field
+  registries rendered in ``docs/observability.md`` and enforced by the
+  test suite.
+* :mod:`repro.obs.analyze` — trace analyzers: rollback hotspots,
+  cascade reconstruction, message-locality matrix, GVT progress.
+* :mod:`repro.obs.report` — :func:`analyze_run` packaging every
+  analyzer into a deterministic markdown :class:`RunReport`.
+* :mod:`repro.obs.diffing` — :func:`diff_metrics` run comparison and
+  the CI regression gate (thresholds per registry name).
+* :mod:`repro.obs.progress` — :class:`ProgressHeartbeat`, the
+  throttled live status line for long Time Warp runs (off by default).
 
 Design rules (enforced by tests):
 
@@ -45,6 +54,7 @@ from .recorder import (
 from .trace import TraceBuffer, TraceEvent, TRACE_EVENT_KINDS
 from .metrics import (
     METRICS_SCHEMA_VERSION,
+    VOLATILE_FIELDS,
     MetricsError,
     metrics_document,
     validate_metrics,
@@ -52,8 +62,44 @@ from .metrics import (
     write_metrics,
     read_metrics,
     strip_volatile,
+    counters_view,
+    metrics_equal,
 )
-from .registry import METRIC_REGISTRY, PHASE_REGISTRY, is_registered
+from .registry import (
+    METRIC_REGISTRY,
+    PHASE_REGISTRY,
+    TRACE_FIELD_REGISTRY,
+    is_registered,
+    trace_fields,
+)
+from .analyze import (
+    GVT_DONE,
+    REFERENCED_METRICS,
+    Cascade,
+    GvtProgress,
+    Hotspot,
+    LocalityMatrix,
+    StallInterval,
+    TraceError,
+    gvt_progress,
+    load_trace,
+    message_locality,
+    parse_trace,
+    reconstruct_cascades,
+    rollback_hotspots,
+)
+from .report import RunReport, analyze_run
+from .diffing import (
+    DEFAULT_THRESHOLD,
+    DEFAULT_THRESHOLDS,
+    HIGHER_IS_BETTER,
+    NEUTRAL_METRICS,
+    DiffResult,
+    MetricDelta,
+    diff_metrics,
+    gate_directories,
+)
+from .progress import ProgressHeartbeat
 
 __all__ = [
     "Recorder",
@@ -65,6 +111,7 @@ __all__ = [
     "TraceEvent",
     "TRACE_EVENT_KINDS",
     "METRICS_SCHEMA_VERSION",
+    "VOLATILE_FIELDS",
     "MetricsError",
     "metrics_document",
     "validate_metrics",
@@ -72,7 +119,39 @@ __all__ = [
     "write_metrics",
     "read_metrics",
     "strip_volatile",
+    "counters_view",
+    "metrics_equal",
     "METRIC_REGISTRY",
     "PHASE_REGISTRY",
+    "TRACE_FIELD_REGISTRY",
     "is_registered",
+    "trace_fields",
+    # analysis
+    "GVT_DONE",
+    "REFERENCED_METRICS",
+    "TraceError",
+    "load_trace",
+    "parse_trace",
+    "Hotspot",
+    "rollback_hotspots",
+    "Cascade",
+    "reconstruct_cascades",
+    "LocalityMatrix",
+    "message_locality",
+    "StallInterval",
+    "GvtProgress",
+    "gvt_progress",
+    "RunReport",
+    "analyze_run",
+    # diffing / regression gate
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_THRESHOLDS",
+    "HIGHER_IS_BETTER",
+    "NEUTRAL_METRICS",
+    "MetricDelta",
+    "DiffResult",
+    "diff_metrics",
+    "gate_directories",
+    # progress
+    "ProgressHeartbeat",
 ]

@@ -42,16 +42,26 @@ from .recorder import MetricsRecorder
 
 __all__ = [
     "METRICS_SCHEMA_VERSION",
+    "VOLATILE_FIELDS",
     "metrics_document",
     "validate_metrics",
     "dumps_metrics",
     "write_metrics",
     "read_metrics",
     "strip_volatile",
+    "counters_view",
+    "metrics_equal",
 ]
 
 #: current metrics document schema version (bump on breaking change)
 METRICS_SCHEMA_VERSION = 1
+
+#: the host-dependent fields excluded from every cross-run comparison:
+#: ``generated_at`` is a wall-clock stamp and ``host_timings`` holds
+#: host wall seconds — both differ between identical runs.  Anything
+#: comparing documents (``strip_volatile``, ``metrics_equal``,
+#: ``repro.obs.diffing``) must go through this list, never hard-code it.
+VOLATILE_FIELDS = ("generated_at", "host_timings")
 
 _SCALAR = (str, int, float, bool, type(None))
 _KINDS = ("bench", "run", "partition", "sweep", "custom")
@@ -228,10 +238,32 @@ def read_metrics(path: str | Path) -> dict:
 
 def strip_volatile(doc: dict) -> dict:
     """Copy of ``doc`` with its non-deterministic fields neutralized:
-    ``host_timings`` removed and ``generated_at`` normalized to null
-    (the key stays so the result still validates).  This is the form
-    determinism tests and the freshness gate compare."""
-    out = {k: v for k, v in doc.items()
-           if k not in ("generated_at", "host_timings")}
+    every :data:`VOLATILE_FIELDS` entry removed, then ``generated_at``
+    normalized to null (the key stays so the result still validates).
+    This is the form determinism tests, the freshness gate and the
+    regression gate (:mod:`repro.obs.diffing`) compare."""
+    out = {k: v for k, v in doc.items() if k not in VOLATILE_FIELDS}
     out["generated_at"] = None
     return out
+
+
+def counters_view(doc: dict) -> dict[str, int | float]:
+    """Diff-safe accessor: the document's counters as a fresh plain
+    dict, independent of the document object and guaranteed free of
+    volatile content (counters never hold host quantities by schema
+    rule; this accessor is the single read path the regression gate
+    uses, so that guarantee is enforced in one place)."""
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        raise MetricsError(
+            f"invalid metrics document at $.counters: expected an object, "
+            f"got {type(counters).__name__}"
+        )
+    return dict(counters)
+
+
+def metrics_equal(a: dict, b: dict) -> bool:
+    """Whether two documents are equal for cross-run purposes — i.e.
+    byte-identical after :func:`strip_volatile` + :func:`dumps_metrics`
+    (so ``host_timings`` and ``generated_at`` never break equality)."""
+    return dumps_metrics(strip_volatile(a)) == dumps_metrics(strip_volatile(b))

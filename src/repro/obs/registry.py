@@ -16,7 +16,13 @@ registered name), so a metric cannot silently drift out of the docs.
 
 from __future__ import annotations
 
-__all__ = ["METRIC_REGISTRY", "PHASE_REGISTRY", "is_registered"]
+__all__ = [
+    "METRIC_REGISTRY",
+    "PHASE_REGISTRY",
+    "TRACE_FIELD_REGISTRY",
+    "is_registered",
+    "trace_fields",
+]
 
 #: counter / maximum names -> one-line meaning
 METRIC_REGISTRY: dict[str, str] = {
@@ -71,6 +77,75 @@ PHASE_REGISTRY: dict[str, str] = {
     "partition.rebalance": "load redistribution / final balance repair",
     "tw.run": "the Time Warp main loop, load to termination",
 }
+
+
+#: trace event payload fields per kind — the executable form of the
+#: "Trace format" table in ``docs/observability.md``.  The kernel may
+#: only emit registered fields and the analyzers
+#: (:mod:`repro.obs.analyze`) may only read registered fields; the
+#: test suite pins both directions, so emitters, analyzers and docs
+#: cannot drift apart.
+TRACE_FIELD_REGISTRY: dict[str, dict[str, str]] = {
+    "exec": {
+        "machine": "host machine id at execution time",
+        "lp": "executing LP id",
+        "partition": "the LP's static partition (pre-migration)",
+        "vt": "virtual time of the executed batch",
+        "evals": "gate events the batch processed",
+        "sends": "messages the batch emitted",
+        "wall": "sender machine modeled wall seconds after the batch",
+    },
+    "send": {
+        "src_machine": "sending machine id",
+        "dst_machine": "receiving machine id",
+        "src_lp": "sending LP id (-1 = environment stimulus)",
+        "dst_lp": "receiving LP id",
+        "src_partition": "sender's static partition (-1 = environment)",
+        "dst_partition": "receiver's static partition",
+        "net": "boundary net the message carries",
+        "recv_time": "virtual receive time",
+        "sign": "+1 positive message, -1 anti-message",
+        "uid": "sender-serial message uid (annihilation key)",
+        "local": "1 when src and dst machine coincide",
+        "wall": "sender machine modeled wall seconds at send",
+    },
+    "rollback": {
+        "machine": "host machine id of the victim LP",
+        "lp": "victim LP id",
+        "partition": "victim's static partition",
+        "straggler_vt": "receive time of the culprit message",
+        "straggler_src": "culprit sender LP (-1 = environment)",
+        "src_partition": "culprit sender's static partition",
+        "straggler_uid": "culprit message uid (links to its send event)",
+        "sign": "+1 straggler, -1 anti-message induced",
+        "restored_to": "virtual time of the restored checkpoint",
+        "undone": "gate events the rollback undid",
+        "antis": "anti-messages the rollback injected",
+        "depth": "straggler depth below the LP's local virtual time",
+        "wall": "victim machine modeled wall seconds after the rollback",
+    },
+    "gvt": {
+        "round": "GVT round number",
+        "gvt": "new GVT estimate (2^62 = everything committed)",
+        "checkpoint_bytes": "total checkpoint memory after the sweep",
+    },
+    "migrate": {
+        "lp": "migrated LP id",
+        "src_machine": "machine the LP left",
+        "dst_machine": "machine the LP joined",
+        "forwarded": "queued arrivals re-routed with the LP",
+    },
+    "throttle": {
+        "engaged": "1 when the emergency clamp engaged, 0 on release",
+        "gvt": "GVT estimate at the transition",
+        "stalled_rounds": "consecutive no-advance rounds observed",
+    },
+}
+
+
+def trace_fields(kind: str) -> frozenset[str]:
+    """The registered payload fields of one trace event kind."""
+    return frozenset(TRACE_FIELD_REGISTRY[kind])
 
 
 def is_registered(name: str) -> bool:

@@ -90,6 +90,7 @@ def run_partitioned(
     sequential: SequentialSimulator | None = None,
     recorder: Recorder = NULL_RECORDER,
     trace: TraceBuffer | None = None,
+    progress=None,
 ) -> SimulationReport:
     """Simulate a partitioned circuit on the virtual cluster.
 
@@ -117,7 +118,13 @@ def run_partitioned(
     trace:
         Optional bounded :class:`~repro.obs.trace.TraceBuffer`
         capturing per-event kernel history (exec/send/rollback/gvt/
-        migrate) for offline JSONL analysis.
+        migrate) for offline JSONL analysis
+        (:mod:`repro.obs.analyze`).
+    progress:
+        Optional :class:`~repro.obs.progress.ProgressHeartbeat` printing
+        a throttled live status line per GVT round (GVT, events/sec,
+        rollback rate).  ``None`` (default) keeps runs silent; a
+        heartbeat only reads counters, so results are unchanged.
 
     Returns a :class:`SimulationReport`; all its quantities are modeled
     and deterministic for fixed inputs.
@@ -131,7 +138,7 @@ def run_partitioned(
     else:
         seq_wall = sequential.stats.gate_evals * spec.event_cost
     engine = TimeWarpEngine(circuit, clusters, lp_machine, spec, config,
-                            trace=trace)
+                            trace=trace, progress=progress)
     engine.load_inputs(events)
     with recorder.phase("tw.run"):
         stats = engine.run()

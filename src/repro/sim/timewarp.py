@@ -74,6 +74,14 @@ class TimeWarpEngine:
         walks through one).  ``None`` (default) disables tracing at
         zero cost; traced quantities are all modeled, so a trace never
         perturbs results and identical runs dump identical JSONL.
+    progress:
+        Optional :class:`~repro.obs.progress.ProgressHeartbeat` (or any
+        object with a compatible ``update`` method).  Called once per
+        GVT round with the live GVT estimate, processed-event count,
+        rollback count and modeled wall clock; the heartbeat throttles
+        and prints on its own.  ``None`` (default) keeps long runs
+        silent at zero cost; a heartbeat only reads, so attaching one
+        never changes simulation results.
     """
 
     def __init__(
@@ -84,6 +92,7 @@ class TimeWarpEngine:
         spec: ClusterSpec,
         config: TimeWarpConfig = TimeWarpConfig(),
         trace: TraceBuffer | None = None,
+        progress=None,
     ) -> None:
         if len(clusters) != len(lp_machine):
             raise SimulationError(
@@ -126,6 +135,12 @@ class TimeWarpEngine:
         self.stats = RunStats(num_machines=spec.num_machines)
         self.stats.lps = [LPStats(lid=lid) for lid in range(len(self.lps))]
         self._trace = trace
+        self._progress = progress
+        # original partition per LP: lp_machine drifts under migration,
+        # so trace events carry both the current host machine and the
+        # static partition the LP was assigned to (the quantity the
+        # partitioner's predicted cut speaks about)
+        self._lp_partition = tuple(self.lp_machine)
         self._arrival_serial = 0
         self._gate_lp = self._gate_to_lp(clusters)
         self._gvt_estimate = -1
@@ -148,6 +163,10 @@ class TimeWarpEngine:
             for lp in self.lps:
                 # rollback-free execution needs no state saving
                 lp.checkpoint_interval = 1 << 30
+
+    def _partition_of(self, lp_id: int) -> int:
+        """Static partition of an LP; -1 for the environment LP (-1)."""
+        return self._lp_partition[lp_id] if lp_id >= 0 else -1
 
     def _gate_to_lp(self, clusters: Sequence[Sequence[int]]) -> dict[int, int]:
         out: dict[int, int] = {}
@@ -422,8 +441,11 @@ class TimeWarpEngine:
                 "rollback",
                 machine=machine.mid,
                 lp=lp.lid,
+                partition=self._lp_partition[lp.lid],
                 straggler_vt=straggler.recv_time,
                 straggler_src=straggler.src_lp,
+                src_partition=self._partition_of(straggler.src_lp),
+                straggler_uid=straggler.uid,
                 sign=straggler.sign,
                 restored_to=rollback.restored_to,
                 undone=rollback.undone_events,
@@ -459,6 +481,7 @@ class TimeWarpEngine:
                 "exec",
                 machine=machine.mid,
                 lp=lid,
+                partition=self._lp_partition[lid],
                 vt=result.vt,
                 evals=result.gate_evals,
                 sends=len(result.sends),
@@ -495,6 +518,8 @@ class TimeWarpEngine:
                 dst_machine=dst_machine.mid,
                 src_lp=msg.src_lp,
                 dst_lp=msg.dst_lp,
+                src_partition=self._partition_of(msg.src_lp),
+                dst_partition=self._partition_of(msg.dst_lp),
                 net=msg.net,
                 recv_time=msg.recv_time,
                 sign=msg.sign,
@@ -591,6 +616,15 @@ class TimeWarpEngine:
                 round=self.stats.gvt_rounds,
                 gvt=gvt,
                 checkpoint_bytes=total_bytes,
+            )
+
+        if self._progress is not None:
+            self._progress.update(
+                gvt=self._gvt_estimate,
+                rounds=self.stats.gvt_rounds,
+                processed=self.stats.processed_events,
+                rollbacks=self.stats.rollbacks,
+                wall=max((m.wall for m in self.machines), default=0.0),
             )
 
         if self.config.adaptive_checkpointing:

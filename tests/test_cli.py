@@ -133,3 +133,107 @@ class TestSimulateCommands:
         )
         assert code == 0
         assert "best: k=" in text
+
+
+class TestObsCommands:
+    @pytest.fixture()
+    def run_artifacts(self, vfile, tmp_path):
+        """One fixed-seed psim run with metrics + trace dumped."""
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.jsonl"
+        code, text = run(
+            "psim", str(vfile), "-k", "2", "--vectors", "10",
+            "--metrics", str(metrics), "--trace", str(trace),
+        )
+        assert code == 0 and "verified        : True" in text
+        return metrics, trace
+
+    def test_selfcheck(self):
+        code, text = run("obs", "selfcheck")
+        assert code == 0
+        assert "obs selfcheck: ok (8 checks)" in text
+
+    def test_psim_progress_keeps_results(self, vfile):
+        code, text = run(
+            "psim", str(vfile), "-k", "2", "--vectors", "10", "--progress"
+        )
+        assert code == 0
+        assert "verified        : True" in text
+
+    def test_report_byte_identical_across_invocations(
+        self, vfile, run_artifacts, tmp_path
+    ):
+        metrics, trace = run_artifacts
+        # a second independent run of the same fixed-seed experiment
+        metrics2 = tmp_path / "m2.json"
+        trace2 = tmp_path / "t2.jsonl"
+        code, _ = run(
+            "psim", str(vfile), "-k", "2", "--vectors", "10",
+            "--metrics", str(metrics2), "--trace", str(trace2),
+        )
+        assert code == 0
+        code_a, report_a = run("obs", "report", str(trace), str(metrics))
+        code_b, report_b = run("obs", "report", str(trace2), str(metrics2))
+        assert code_a == code_b == 0
+        assert report_a == report_b
+        assert "# Run report: psim" in report_a
+        assert "## GVT progress" in report_a
+
+    def test_hotspots(self, run_artifacts):
+        _, trace = run_artifacts
+        code, text = run("obs", "hotspots", str(trace), "--top", "3")
+        assert code == 0
+        assert "rollbacks" in text or "no rollbacks in trace" in text
+
+    def test_diff_identical_exits_zero(self, run_artifacts):
+        metrics, _ = run_artifacts
+        code, text = run("obs", "diff", str(metrics), str(metrics),
+                         "--fail-on-regression")
+        assert code == 0
+        assert "no deltas" in text
+
+    def _doctor(self, metrics, tmp_path, name, factor):
+        import json
+
+        doc = json.loads(metrics.read_text())
+        old = doc["counters"].get(name, 0)
+        doc["counters"][name] = old * factor if old else 5
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(doc))
+        return doctored
+
+    def test_diff_doctored_regression_fails(self, run_artifacts, tmp_path):
+        metrics, _ = run_artifacts
+        doctored = self._doctor(metrics, tmp_path, "tw.rollbacks", 1.25)
+        code, text = run("obs", "diff", str(metrics), str(doctored),
+                         "--fail-on-regression")
+        assert code == 1
+        assert "REGRESSED" in text
+        # without the gate flag the diff reports but exits 0
+        code, _ = run("obs", "diff", str(metrics), str(doctored))
+        assert code == 0
+
+    def test_diff_threshold_override(self, run_artifacts, tmp_path):
+        metrics, _ = run_artifacts
+        doctored = self._doctor(metrics, tmp_path, "tw.rollbacks", 1.25)
+        code, _ = run("obs", "diff", str(metrics), str(doctored),
+                      "--threshold", "tw.rollbacks=10.0",
+                      "--fail-on-regression")
+        assert code == 0
+
+    def test_diff_json_verdict(self, run_artifacts, tmp_path):
+        import json
+
+        metrics, _ = run_artifacts
+        doctored = self._doctor(metrics, tmp_path, "tw.rollbacks", 1.25)
+        code, text = run("obs", "diff", str(metrics), str(doctored), "--json")
+        assert code == 0
+        verdict = json.loads(text)
+        assert verdict["ok"] is False
+        assert "tw.rollbacks" in verdict["regressions"]
+
+    def test_diff_malformed_threshold_errors(self, run_artifacts):
+        metrics, _ = run_artifacts
+        code, _ = run("obs", "diff", str(metrics), str(metrics),
+                      "--threshold", "nonsense")
+        assert code == 1

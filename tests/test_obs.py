@@ -19,6 +19,8 @@ from repro.obs import (
     METRICS_SCHEMA_VERSION,
     NULL_RECORDER,
     PHASE_REGISTRY,
+    TRACE_EVENT_KINDS,
+    TRACE_FIELD_REGISTRY,
     MetricsError,
     MetricsRecorder,
     TraceBuffer,
@@ -27,6 +29,7 @@ from repro.obs import (
     metrics_document,
     read_metrics,
     strip_volatile,
+    trace_fields,
     validate_metrics,
     write_metrics,
 )
@@ -211,6 +214,11 @@ class TestRegistry:
                 assert name == name.lower() and " " not in name
                 assert meaning.strip()
 
+    def test_trace_field_registry_matches_kinds(self):
+        assert set(TRACE_FIELD_REGISTRY) == set(TRACE_EVENT_KINDS)
+        assert trace_fields("rollback") >= {
+            "partition", "src_partition", "straggler_uid"}
+
 
 # ---------------------------------------------------------------------------
 # End to end: instrumented runs
@@ -297,3 +305,12 @@ class TestInstrumentedRun:
             assert len(trace.events("rollback")) == report.rollbacks
         seqs = [e.seq for e in trace.events()]
         assert seqs == sorted(seqs)
+
+    def test_every_emitted_trace_field_is_registered(
+        self, viterbi_test, viterbi_test_circuit, stimulus
+    ):
+        trace = TraceBuffer()
+        _run(viterbi_test, viterbi_test_circuit, stimulus, trace=trace)
+        for e in trace.events():
+            extra = set(e.fields) - trace_fields(e.kind)
+            assert not extra, (e.kind, extra)
