@@ -21,7 +21,7 @@ from repro.bench import (
     table3_presim,
     table5_full_sim,
 )
-from repro.obs import metrics_document, write_metrics
+from repro.obs import metrics_document, validate_metrics, write_metrics
 
 #: the benchmark workload: a single scaled Viterbi decoder — one
 #: decoder like the paper's (no trivially separable channels), with the
@@ -44,6 +44,7 @@ def emit(
     counters: dict | None = None,
     rows: list[dict] | None = None,
     series: dict[str, list] | None = None,
+    host_timings: dict[str, float] | None = None,
 ) -> None:
     """Print a result block and persist it under benchmarks/out/.
 
@@ -53,13 +54,17 @@ def emit(
     it as ``BENCH_<name>.json``.  Everything but the ``generated_at``
     stamp is deterministic for a fixed seed, so
     ``make_experiments_md.py --check`` can diff reruns byte-for-byte
-    after :func:`repro.obs.strip_volatile`.
+    after :func:`repro.obs.strip_volatile`.  Host wall measurements
+    (non-deterministic by nature) belong in ``host_timings`` — the
+    quarantined channel ``strip_volatile`` removes before comparison —
+    never in ``counters`` or ``rows``.
     """
     print()
     print(text)
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
-    if params is None and counters is None and rows is None and series is None:
+    if (params is None and counters is None and rows is None
+            and series is None and host_timings is None):
         return
     base_params = {
         "circuit": CFG.circuit,
@@ -79,6 +84,9 @@ def emit(
         series=series,
         generated_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
     )
+    if host_timings is not None:
+        doc["host_timings"] = {k: float(v) for k, v in sorted(host_timings.items())}
+        validate_metrics(doc)
     write_metrics(OUT_DIR / f"BENCH_{name}.json", doc)
 
 

@@ -17,6 +17,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from ..core.balance import PAPER_B_VALUES
+from ..core.parallel_refine import resolve_workers
 
 __all__ = ["GridCell", "run_presim_grid"]
 
@@ -56,6 +57,7 @@ def _evaluate_cell(
     n_vectors: int,
     seed: int,
     pairing: str,
+    refine_workers: int = 1,
 ) -> GridCell:
     """Worker: compile, partition, pre-simulate one grid cell."""
     from ..circuits import random_vectors
@@ -66,7 +68,9 @@ def _evaluate_cell(
     netlist = compile_verilog(source, top=top)
     circuit = compile_circuit(netlist)
     events = random_vectors(netlist, n_vectors, seed=seed)
-    part = design_driven_partition(netlist, k=k, b=b, seed=seed, pairing=pairing)
+    part = design_driven_partition(
+        netlist, k=k, b=b, seed=seed, pairing=pairing, workers=refine_workers
+    )
     clusters, machines = part.to_simulation()
     report = run_partitioned(
         circuit, clusters, machines, events,
@@ -93,18 +97,34 @@ def run_presim_grid(
     pairing: str = "gain",
     top: str | None = None,
     workers: int | None = None,
+    refine_workers: int = 1,
 ) -> list[GridCell]:
     """Run the (k, b) pre-simulation grid, optionally across processes.
 
-    ``workers=None`` or ``workers=1`` runs serially in-process (no
-    subprocess overhead; identical results); ``workers=N`` fans the
-    cells out over a process pool.  Rows come back in grid order
-    regardless of completion order.
+    Worker-count policy is the shared
+    :func:`repro.core.parallel_refine.resolve_workers`: ``workers=None``
+    consults the ``REPRO_WORKERS`` environment variable (unset means
+    serial, capped at ``os.cpu_count()``), an explicit count is honoured
+    verbatim.  Serial runs stay in-process (no subprocess overhead);
+    parallel runs fan the cells out over a process pool.  Rows come back
+    in grid order regardless of completion order, and every cell is
+    seeded identically to the serial path, so results never depend on
+    the worker count.
+
+    ``refine_workers`` is forwarded to each cell's
+    :func:`~repro.core.multiway.design_driven_partition` call.  Inside a
+    parallel grid the cells are daemonic workers, so nested refinement
+    pools automatically degrade to serial (see ``docs/parallelism.md``);
+    the default of 1 keeps the serial grid's cells serial too.
     """
+    resolved = resolve_workers(workers)
     cells = [(k, b) for k in ks for b in bs]
-    args = [(source, top, k, b, n_vectors, seed, pairing) for k, b in cells]
-    if workers is None or workers <= 1:
+    args = [
+        (source, top, k, b, n_vectors, seed, pairing, refine_workers)
+        for k, b in cells
+    ]
+    if resolved <= 1:
         return [_evaluate_cell(*a) for a in args]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ProcessPoolExecutor(max_workers=resolved) as pool:
         futures = [pool.submit(_evaluate_cell, *a) for a in args]
         return [f.result() for f in futures]

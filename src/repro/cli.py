@@ -60,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pa.add_argument("--pairing", default="gain",
                     choices=("random", "exhaustive", "cut", "gain"))
+    pa.add_argument("--refine-workers", type=int, default=None,
+                    metavar="N",
+                    help="refinement worker processes (design algorithm; "
+                         "default: REPRO_WORKERS env or serial); any value "
+                         "yields bit-identical partitions — see "
+                         "docs/parallelism.md")
     pa.add_argument("--assignment-out", type=Path, default=None,
                     help="write '<gate name> <partition>' lines here")
     pa.add_argument("--save", type=Path, default=None,
@@ -92,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="classic aggressive cancellation instead of lazy")
     ps.add_argument("--partition", type=Path, default=None,
                     help="reuse a partition saved with 'partition --save'")
+    ps.add_argument("--refine-workers", type=int, default=None,
+                    metavar="N",
+                    help="refinement worker processes for the partitioning "
+                         "step (default: REPRO_WORKERS env or serial); "
+                         "never changes the partition or the simulation")
     ps.add_argument("--conservative", action="store_true",
                     help="idealized conservative mode (no rollbacks)")
     ps.add_argument("--metrics", type=Path, default=None, metavar="PATH",
@@ -120,7 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--vectors", type=int, default=40)
     sw.add_argument("--seed", type=int, default=1)
     sw.add_argument("--workers", type=int, default=None,
-                    help="process count (default: serial)")
+                    help="grid process count (default: REPRO_WORKERS env "
+                         "or serial)")
+    sw.add_argument("--refine-workers", type=int, default=1,
+                    metavar="N",
+                    help="refinement workers inside each grid cell "
+                         "(default: 1; parallel grid cells always refine "
+                         "serially — nested pools are not allowed)")
     sw.add_argument("--metrics-out", type=Path, default=None, metavar="PATH",
                     help="write the grid as a schema-versioned metrics "
                          "JSON document (kind=sweep)")
@@ -133,6 +150,10 @@ def build_parser() -> argparse.ArgumentParser:
     se.add_argument("--seed", type=int, default=0)
     se.add_argument("--heuristic", action="store_true",
                     help="use the paper's Figure-3 search")
+    se.add_argument("--refine-workers", type=int, default=None,
+                    metavar="N",
+                    help="refinement worker processes per candidate "
+                         "partition (default: REPRO_WORKERS env or serial)")
 
     ob = sub.add_parser("obs", help="trace analysis & regression gates")
     obsub = ob.add_subparsers(dest="obs_command", required=True)
@@ -250,6 +271,7 @@ def _cmd_partition(args, out) -> int:
 
         r = design_driven_partition(
             netlist, k=args.k, b=args.b, seed=args.seed, pairing=args.pairing,
+            workers=args.refine_workers,
             recorder=recorder if recorder is not None else NULL_RECORDER,
         )
         cut, loads = r.cut_size, r.part_weights.tolist()
@@ -379,7 +401,9 @@ def _cmd_psim(args, out) -> int:
         out.write(f"loaded partition {args.partition} (k={k}, b={part.b})\n")
     else:
         part = design_driven_partition(netlist, k=args.k, b=args.b,
-                                       seed=args.seed, recorder=recorder)
+                                       seed=args.seed,
+                                       workers=args.refine_workers,
+                                       recorder=recorder)
         k = args.k
     clusters, machines = part.to_simulation()
     report = run_partitioned(
@@ -439,6 +463,7 @@ def _cmd_sweep(args, out) -> int:
     cells = run_presim_grid(
         source, ks=ks, bs=bs, n_vectors=args.vectors, seed=args.seed,
         top=args.top, workers=args.workers,
+        refine_workers=args.refine_workers,
     )
     out.write(format_table(
         ["k", "b", "cut", "balanced", "time (s)", "speedup", "msgs",
@@ -473,10 +498,13 @@ def _cmd_search(args, out) -> int:
     netlist = _load(args)
     events = random_vectors(netlist, args.vectors, seed=args.seed)
     if args.heuristic:
-        study = heuristic_presim(netlist, events, max_k=args.max_k, seed=args.seed)
+        study = heuristic_presim(netlist, events, max_k=args.max_k,
+                                 seed=args.seed,
+                                 refine_workers=args.refine_workers)
     else:
         study = brute_force_presim(
-            netlist, events, ks=tuple(range(2, args.max_k + 1)), seed=args.seed
+            netlist, events, ks=tuple(range(2, args.max_k + 1)),
+            seed=args.seed, refine_workers=args.refine_workers,
         )
     for p in study.points:
         out.write(f"k={p.k} b={p.b:<5} cut={p.cut_size:<6} "

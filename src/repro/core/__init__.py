@@ -10,6 +10,9 @@ Public surface:
 * :func:`cone_partition` — the concurrency-oriented initial partition.
 * :func:`refine_pair` — pairwise FM with best-prefix rollback.
 * :data:`PAIRING_STRATEGIES` — random / exhaustive / cut / gain.
+* :class:`PairwiseRefiner` / :func:`tournament_rounds` /
+  :func:`resolve_workers` — the deterministic process-parallel
+  refinement engine (see ``docs/parallelism.md``).
 * :func:`brute_force_presim` / :func:`heuristic_presim` — the (k, b)
   selection searches driven by short trial simulations.
 """
@@ -18,6 +21,13 @@ from .balance import BalanceConstraint, PAPER_B_VALUES, PAPER_K_VALUES
 from .cone import cone_partition, input_cones, build_cluster_dag
 from .fm import FMPassResult, refine_pair, rebalance_pair
 from .pairing import PAIRING_STRATEGIES, pairing_strategy, estimate_pair_gain
+from .parallel_refine import (
+    PairwiseRefiner,
+    pairing_rounds,
+    resolve_workers,
+    schedule_rounds,
+    tournament_rounds,
+)
 from .multiway import MultiwayResult, design_driven_partition
 from .presim import (
     PresimPoint,
@@ -48,6 +58,11 @@ __all__ = [
     "PAIRING_STRATEGIES",
     "pairing_strategy",
     "estimate_pair_gain",
+    "PairwiseRefiner",
+    "pairing_rounds",
+    "resolve_workers",
+    "schedule_rounds",
+    "tournament_rounds",
     "MultiwayResult",
     "design_driven_partition",
     "PresimPoint",

@@ -29,11 +29,21 @@ __all__ = ["FMPassResult", "refine_pair", "rebalance_pair"]
 
 @dataclass
 class FMPassResult:
-    """Outcome of :func:`refine_pair`: total realized gain and moves."""
+    """Outcome of :func:`refine_pair`: total realized gain and moves.
+
+    ``moves_log`` is populated only when :func:`refine_pair` was called
+    with ``collect_moves=True``: the retained ``(vertex, target)``
+    moves in execution order — replaying them with
+    :meth:`PartitionState.move` on a copy of the pre-refinement state
+    reproduces the refined state exactly.  This is the slim payload the
+    process-parallel engine (:mod:`repro.core.parallel_refine`) ships
+    back from workers.
+    """
 
     gain: int
     moves: int
     passes: int
+    moves_log: list[tuple[int, int]] | None = None
 
 
 def _pair_vertices(state: PartitionState, a: int, b: int) -> list[int]:
@@ -48,6 +58,7 @@ def refine_pair(
     constraint: BalanceConstraint,
     max_passes: int = 8,
     recorder: Recorder = NULL_RECORDER,
+    collect_moves: bool = False,
 ) -> FMPassResult:
     """FM refinement between partitions ``a`` and ``b`` (in place).
 
@@ -57,22 +68,29 @@ def refine_pair(
     ``recorder`` (optional, :mod:`repro.obs`) accumulates
     ``part.fm.passes`` / ``part.fm.moves`` / ``part.fm.gain`` across
     calls; the default no-op recorder keeps this free.
+
+    With ``collect_moves=True`` the result additionally carries the
+    retained move log (see :class:`FMPassResult.moves_log`) so a remote
+    caller can replay the refinement on another copy of the state.
     """
     total_gain = 0
     total_moves = 0
     passes = 0
+    log: list[tuple[int, int]] | None = [] if collect_moves else None
     for _ in range(max_passes):
-        gain, moves = _one_pass(state, a, b, constraint)
+        gain, retained = _one_pass(state, a, b, constraint)
         passes += 1
         total_gain += gain
-        total_moves += moves
+        total_moves += len(retained)
+        if log is not None:
+            log.extend(retained)
         if gain <= 0:
             break
     if recorder.enabled:
         recorder.incr("part.fm.passes", passes)
         recorder.incr("part.fm.moves", total_moves)
         recorder.incr("part.fm.gain", total_gain)
-    return FMPassResult(total_gain, total_moves, passes)
+    return FMPassResult(total_gain, total_moves, passes, log)
 
 
 def _one_pass(
@@ -80,13 +98,13 @@ def _one_pass(
     a: int,
     b: int,
     constraint: BalanceConstraint,
-) -> tuple[int, int]:
-    """One FM pass; returns (realized gain, retained moves)."""
+) -> tuple[int, list[tuple[int, int]]]:
+    """One FM pass; returns (realized gain, retained (v, to) moves)."""
     hg = state.hg
     lo, hi = constraint.bounds(hg.total_weight)
     vertices = _pair_vertices(state, a, b)
     if not vertices:
-        return 0, 0
+        return 0, []
 
     stamp = {v: 0 for v in vertices}
     locked: set[int] = set()
@@ -101,8 +119,8 @@ def _one_pass(
     for v in vertices:
         push(v)
 
-    # move log for best-prefix rollback
-    moves: list[tuple[int, int, int]] = []  # (v, frm, gain)
+    # move log for best-prefix rollback: (v, frm, to)
+    moves: list[tuple[int, int, int]] = []
     cum = 0
     best = 0
     best_idx = 0
@@ -125,7 +143,7 @@ def _one_pass(
             continue
         realized = state.move(v, to)
         locked.add(v)
-        moves.append((v, frm, realized))
+        moves.append((v, frm, to))
         cum += realized
         if cum > best:
             best = cum
@@ -139,7 +157,7 @@ def _one_pass(
     # roll back past the best prefix
     for v, frm, _ in reversed(moves[best_idx:]):
         state.move(v, frm)
-    return best, best_idx
+    return best, [(v, to) for v, _, to in moves[:best_idx]]
 
 
 def rebalance_pair(

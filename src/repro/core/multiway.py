@@ -29,8 +29,8 @@ from ..obs.recorder import NULL_RECORDER, Recorder
 from ..verilog.netlist import Netlist
 from .balance import BalanceConstraint
 from .cone import cone_partition
-from .fm import rebalance_pair, refine_pair
-from .pairing import pairing_strategy
+from .fm import rebalance_pair
+from .parallel_refine import PairwiseRefiner, pairing_rounds
 
 __all__ = ["MultiwayResult", "design_driven_partition"]
 
@@ -82,6 +82,7 @@ def design_driven_partition(
     max_flatten_steps: int | None = None,
     max_rounds: int = 64,
     restarts: int = 1,
+    workers: int | None = None,
     recorder: Recorder = NULL_RECORDER,
 ) -> MultiwayResult:
     """Run the design-driven multiway partitioning algorithm.
@@ -112,6 +113,12 @@ def design_driven_partition(
         (balance first, then cut).  Multi-start is the standard cheap
         defense against the local minima iterative partitioners fall
         into; the paper's single-run behaviour is ``restarts=1``.
+    workers:
+        Refinement worker processes (:mod:`repro.core.parallel_refine`).
+        ``None`` consults the ``REPRO_WORKERS`` environment variable
+        (unset means serial); any value produces **bit-identical**
+        partitions — parallelism changes wall time only.  See
+        ``docs/parallelism.md``.
     recorder:
         Observability sink (:mod:`repro.obs`).  Receives the
         ``part.*`` counters (cone stats, pairing rounds, FM moves,
@@ -129,7 +136,7 @@ def design_driven_partition(
                 netlist_or_clustering, k, b, seed=seed + i, pairing=pairing,
                 initial=initial, max_fm_passes=max_fm_passes,
                 max_flatten_steps=max_flatten_steps, max_rounds=max_rounds,
-                restarts=1, recorder=recorder,
+                restarts=1, workers=workers, recorder=recorder,
             )
             for i in range(restarts)
         ]
@@ -139,7 +146,7 @@ def design_driven_partition(
     else:
         clustering = Clustering.top_level(netlist_or_clustering)
     constraint = BalanceConstraint(k, b)
-    strategy = pairing_strategy(pairing, recorder=recorder)
+    rounds_fn = pairing_rounds(pairing, recorder=recorder)
     rng = np.random.default_rng(seed)
     history: list[str] = []
 
@@ -166,11 +173,56 @@ def design_driven_partition(
 
     fm_rounds = 0
     flatten_steps = 0
+    refiner = PairwiseRefiner(workers, recorder=recorder)
+    try:
+        fm_rounds, flatten_steps, clustering, state = _partition_loop(
+            clustering, state, constraint, rounds_fn, refiner, rng,
+            max_fm_passes, max_flatten_steps, max_rounds, history, recorder,
+        )
+        refiner.record_summary()
+    finally:
+        refiner.close()
+
+    if recorder.enabled:
+        recorder.incr("part.rounds", fm_rounds)
+
+    return MultiwayResult(
+        clustering=clustering,
+        assignment=state.part.copy(),
+        k=k,
+        b=b,
+        cut_size=state.cut_size,
+        part_weights=state.part_weight.copy(),
+        balanced=constraint.satisfied(state.part_weight),
+        flatten_steps=flatten_steps,
+        fm_rounds=fm_rounds,
+        history=history,
+    )
+
+
+def _partition_loop(
+    clustering: Clustering,
+    state: PartitionState,
+    constraint: BalanceConstraint,
+    rounds_fn,
+    refiner: PairwiseRefiner,
+    rng: np.random.Generator,
+    max_fm_passes: int,
+    max_flatten_steps: int,
+    max_rounds: int,
+    history: list[str],
+    recorder: Recorder,
+) -> tuple[int, int, Clustering, PartitionState]:
+    """The refine / rebalance / flatten loop of Figure 2 (body of
+    :func:`design_driven_partition`, split out so the refinement
+    engine's lifecycle wraps it cleanly)."""
+    fm_rounds = 0
+    flatten_steps = 0
     while True:
         with recorder.phase("partition.refine"):
             fm_rounds += _improve_until_stable(
-                state, constraint, strategy, rng, max_fm_passes, max_rounds,
-                history, recorder,
+                state, constraint, rounds_fn, refiner, rng, max_fm_passes,
+                max_rounds, history,
             )
         if constraint.satisfied(state.part_weight):
             break
@@ -208,44 +260,34 @@ def design_driven_partition(
         with recorder.phase("partition.rebalance"):
             _redistribute(state, constraint, history, recorder)
 
-    if recorder.enabled:
-        recorder.incr("part.rounds", fm_rounds)
-
-    return MultiwayResult(
-        clustering=clustering,
-        assignment=state.part.copy(),
-        k=k,
-        b=b,
-        cut_size=state.cut_size,
-        part_weights=state.part_weight.copy(),
-        balanced=constraint.satisfied(state.part_weight),
-        flatten_steps=flatten_steps,
-        fm_rounds=fm_rounds,
-        history=history,
-    )
+    return fm_rounds, flatten_steps, clustering, state
 
 
 def _improve_until_stable(
     state: PartitionState,
     constraint: BalanceConstraint,
-    strategy,
+    rounds_fn,
+    refiner: PairwiseRefiner,
     rng: np.random.Generator,
     max_fm_passes: int,
     max_rounds: int,
     history: list[str],
-    recorder: Recorder = NULL_RECORDER,
 ) -> int:
-    """Pairing + FM rounds until no pair yields gain (Figure 2 loop)."""
+    """Pairing + FM rounds until no pair yields gain (Figure 2 loop).
+
+    ``rounds_fn`` yields, per improvement round, a list of
+    conflict-free pair rounds; ``refiner`` executes each — in place
+    serially, or via its process pool with deterministic move replay
+    (either way the resulting partition is identical).
+    """
     rounds = 0
     for _ in range(max_rounds):
-        pairs = strategy(state, rng)
+        schedule = rounds_fn(state, rng)
         round_gain = 0
-        for a, b in pairs:
-            result = refine_pair(
-                state, a, b, constraint, max_passes=max_fm_passes,
-                recorder=recorder,
+        for pair_round in schedule:
+            round_gain += refiner.refine_round(
+                state, pair_round, constraint, max_passes=max_fm_passes,
             )
-            round_gain += result.gain
         rounds += 1
         if round_gain <= 0:
             break

@@ -1,0 +1,371 @@
+"""Deterministic process-parallel pairwise refinement.
+
+The paper's pairwise multiway improvement (§3.1.1) selects *disjoint*
+partition pairs per round, which makes each round embarrassingly
+parallel.  This module exploits that without giving up run-to-run
+reproducibility: the partition produced at any worker count is
+**bit-identical** to the serial one.
+
+Why that is possible at all rests on an invariance property of the
+pairwise FM kernel (:func:`repro.core.fm.refine_pair`):
+
+    For two *disjoint* pairs (a, b) and (c, d), the move sequence FM
+    computes for (a, b) is unaffected by any moves performed inside
+    (c, d).
+
+Sketch: every gain FM evaluates for an a↔b move depends only on
+``counts[a]``, ``counts[b]`` and the predicate "some partition outside
+{a, b} still touches this edge".  Moves inside (c, d) only relocate
+pins between c and d, so the occupied-outside predicate, the pair's
+partition weights and the pair's vertex membership are all invariant —
+hence refining each pair against the *round-start snapshot* yields
+exactly the moves a serial in-place sweep (in any pair order) would
+make.  The engine therefore:
+
+1. ships the read-only CSR hypergraph arrays to each worker **once**
+   (pool initializer; re-shipped only when super-gate flattening
+   replaces the hypergraph),
+2. sends each worker the round-start assignment plus one pair,
+3. receives a *slim move list* (the retained ``(vertex, target)``
+   moves) per pair, and
+4. replays the move lists on the driver's state **in pair order** —
+   a deterministic reduction independent of completion order.
+
+The ``exhaustive`` strategy emits overlapping pairs (every C(k, 2)
+combination), so it is decomposed by :func:`tournament_rounds` — a
+round-robin tournament (circle method) that covers every pair exactly
+once in k-1 (even k) or k (odd k) conflict-free rounds; with odd k one
+partition sits each round out, matching the bye semantics of the random
+strategy.  The other three strategies already produce disjoint pairs
+and pass through :func:`schedule_rounds` unchanged.
+
+Observability: the engine reports ``part.refine.rounds`` /
+``part.refine.tasks`` as counters and ``part.refine.workers`` /
+``part.refine.ideal_speedup`` / ``part.refine.utilization`` as maxima
+(all deterministic, structural quantities — host wall time stays in
+the recorder's ``host_timings`` channel).  See ``docs/parallelism.md``
+for the full determinism contract and the move-replay protocol.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError, PartitionError
+from ..hypergraph.partition_state import PartitionState
+from ..obs.recorder import NULL_RECORDER, Recorder
+from .balance import BalanceConstraint
+from .fm import refine_pair
+from .pairing import PAIRING_STRATEGIES, pairing_strategy
+
+__all__ = [
+    "REPRO_WORKERS_ENV",
+    "resolve_workers",
+    "tournament_rounds",
+    "schedule_rounds",
+    "pairing_rounds",
+    "PairwiseRefiner",
+]
+
+#: environment variable consulted when no explicit worker count is given
+REPRO_WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve a worker count for any parallel harness in the repo.
+
+    One shared policy (used by the refinement engine and the
+    :func:`repro.bench.parallel.run_presim_grid` sweep alike):
+
+    * ``workers=None`` — consult the ``REPRO_WORKERS`` environment
+      variable; unset/empty means serial (1).  The env request is
+      capped at ``os.cpu_count()`` — an environment-wide default must
+      not oversubscribe small CI boxes.
+    * an explicit integer is honoured verbatim (>= 1 enforced, no cap):
+      deliberate oversubscription is a caller's choice, and the
+      determinism contract makes any worker count produce identical
+      results anyway.
+    """
+    if workers is None:
+        raw = os.environ.get(REPRO_WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            requested = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"{REPRO_WORKERS_ENV}={raw!r} is not an integer"
+            ) from None
+        if requested < 1:
+            raise ConfigError(
+                f"{REPRO_WORKERS_ENV} must be >= 1, got {requested}"
+            )
+        return max(1, min(requested, os.cpu_count() or 1))
+    workers = int(workers)
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def tournament_rounds(k: int) -> list[list[tuple[int, int]]]:
+    """Round-robin tournament schedule over partitions ``0..k-1``.
+
+    Circle method: every unordered pair appears in exactly one round,
+    pairs within a round are disjoint.  Even k gives k-1 rounds of
+    k/2 pairs; odd k gives k rounds of (k-1)/2 pairs with one
+    partition taking a bye each round (the same "odd partition sits a
+    round out" semantics as the random pairing strategy).
+    """
+    if k < 2:
+        return []
+    players = list(range(k))
+    if k % 2:
+        players.append(-1)  # bye marker
+    n = len(players)
+    rounds: list[list[tuple[int, int]]] = []
+    for _ in range(n - 1):
+        rnd = []
+        for i in range(n // 2):
+            a, b = players[i], players[n - 1 - i]
+            if a != -1 and b != -1:
+                rnd.append((min(a, b), max(a, b)))
+        rounds.append(sorted(rnd))
+        # rotate everyone but the first player
+        players = [players[0], players[-1]] + players[1:-1]
+    return rounds
+
+
+def schedule_rounds(
+    pairs: Sequence[tuple[int, int]],
+) -> list[list[tuple[int, int]]]:
+    """Pack an ordered pair list into conflict-free rounds (first fit).
+
+    Pairs already disjoint come back as a single round in their
+    original order, so the disjoint strategies (random / cut / gain)
+    are scheduled exactly as the serial driver executed them.
+    Overlapping inputs are split greedily, preserving relative order
+    within each round.
+    """
+    rounds: list[list[tuple[int, int]]] = []
+    busy: list[set[int]] = []
+    for a, b in pairs:
+        for rnd, used in zip(rounds, busy):
+            if a not in used and b not in used:
+                rnd.append((a, b))
+                used.update((a, b))
+                break
+        else:
+            rounds.append([(a, b)])
+            busy.append({a, b})
+    return rounds
+
+
+def pairing_rounds(
+    name: str,
+    recorder: Recorder = NULL_RECORDER,
+) -> Callable[[PartitionState, np.random.Generator], list[list[tuple[int, int]]]]:
+    """Round-schedule form of a pairing strategy.
+
+    Returns a callable producing, for one improvement round, a list of
+    conflict-free pair rounds.  ``random`` / ``cut`` / ``gain`` already
+    emit disjoint pairs and become a single round; ``exhaustive`` is
+    decomposed into its round-robin tournament (every C(k, 2) pair
+    exactly once per improvement round).  Counter semantics match the
+    serial path: ``part.pairing.rounds`` counts improvement rounds and
+    ``part.pairing.pairs`` the pairs proposed.
+    """
+    if name == "exhaustive":
+        if "exhaustive" not in PAIRING_STRATEGIES:  # pragma: no cover
+            raise ConfigError("exhaustive strategy missing from registry")
+
+        def exhaustive_rounds(
+            state: PartitionState, rng: np.random.Generator
+        ) -> list[list[tuple[int, int]]]:
+            rounds = tournament_rounds(state.k)
+            if recorder.enabled:
+                recorder.incr("part.pairing.rounds")
+                recorder.incr("part.pairing.pairs",
+                              sum(len(r) for r in rounds))
+            return rounds
+
+        return exhaustive_rounds
+
+    strategy = pairing_strategy(name, recorder=recorder)
+
+    def strategy_rounds(
+        state: PartitionState, rng: np.random.Generator
+    ) -> list[list[tuple[int, int]]]:
+        pairs = strategy(state, rng)
+        return schedule_rounds(pairs)
+
+    return strategy_rounds
+
+
+# -- worker side -----------------------------------------------------------
+
+# Per-process context installed by the pool initializer: the read-only
+# hypergraph (shipped once per granularity level), partition count,
+# balance constraint and FM pass budget.
+_WORKER_CTX: tuple | None = None
+
+
+def _init_refine_worker(hg, k, constraint, max_passes) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = (hg, k, constraint, max_passes)
+
+
+def _refine_pair_task(
+    assignment: np.ndarray, a: int, b: int
+) -> tuple[int, int, int, list[tuple[int, int]]]:
+    """Worker: refine one pair against the round-start snapshot.
+
+    Returns ``(gain, passes, moves, move_log)`` — the slim payload the
+    driver replays; the worker's full state is discarded.
+    """
+    hg, k, constraint, max_passes = _WORKER_CTX
+    state = PartitionState(hg, k, assignment)
+    res = refine_pair(state, a, b, constraint, max_passes=max_passes,
+                      collect_moves=True)
+    return res.gain, res.passes, res.moves, res.moves_log or []
+
+
+# -- driver side -----------------------------------------------------------
+
+
+class PairwiseRefiner:
+    """Executes conflict-free pair rounds, serially or across processes.
+
+    ``workers=1`` refines each pair in place (the classic serial
+    sweep); ``workers>1`` snapshots the assignment at round start,
+    fans the pairs out over a :class:`ProcessPoolExecutor` and replays
+    the returned move lists in pair order.  By the disjoint-pair
+    invariance property (module docstring) the two paths produce
+    bit-identical partitions — enforced at runtime by checking that
+    every replayed move list realizes exactly the gain its worker
+    reported.
+
+    The pool is created lazily on the first parallel round and rebuilt
+    only when the hypergraph changes (super-gate flattening); inside a
+    daemonic process (e.g. a sweep-grid worker) the engine silently
+    degrades to serial because nested process pools are not allowed.
+    """
+
+    def __init__(self, workers: int | None = None,
+                 recorder: Recorder = NULL_RECORDER) -> None:
+        self.workers = resolve_workers(workers)
+        if self.workers > 1 and multiprocessing.current_process().daemon:
+            self.workers = 1
+        self._recorder = recorder
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_key: tuple | None = None
+        self._tasks = 0
+        self._slots = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_key = None
+
+    def __enter__(self) -> "PairwiseRefiner":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def _ensure_pool(self, state: PartitionState,
+                     constraint: BalanceConstraint,
+                     max_passes: int) -> ProcessPoolExecutor:
+        key = (id(state.hg), state.k, constraint, max_passes)
+        if self._pool is not None and self._pool_key == key:
+            return self._pool
+        self.close()
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_refine_worker,
+            initargs=(state.hg, state.k, constraint, max_passes),
+        )
+        self._pool_key = key
+        return self._pool
+
+    # -- execution --------------------------------------------------------
+
+    def refine_round(
+        self,
+        state: PartitionState,
+        pairs: Sequence[tuple[int, int]],
+        constraint: BalanceConstraint,
+        max_passes: int = 8,
+    ) -> int:
+        """Refine one conflict-free round of pairs; returns the realized
+        cut gain on ``state`` (mutated in place)."""
+        if not pairs:
+            return 0
+        touched: set[int] = set()
+        for a, b in pairs:
+            if a in touched or b in touched or a == b:
+                raise PartitionError(
+                    f"refine_round requires disjoint pairs, got {list(pairs)}"
+                )
+            touched.update((a, b))
+        recorder = self._recorder
+        self._tasks += len(pairs)
+        self._slots += -(-len(pairs) // self.workers)  # ceil division
+        if recorder.enabled:
+            recorder.incr("part.refine.rounds")
+            recorder.incr("part.refine.tasks", len(pairs))
+        if self.workers == 1 or len(pairs) == 1:
+            gain = 0
+            for a, b in pairs:
+                gain += refine_pair(state, a, b, constraint,
+                                    max_passes=max_passes,
+                                    recorder=recorder).gain
+            return gain
+        pool = self._ensure_pool(state, constraint, max_passes)
+        snapshot = state.part.copy()
+        futures = [pool.submit(_refine_pair_task, snapshot, a, b)
+                   for a, b in pairs]
+        round_gain = 0
+        for (a, b), future in zip(pairs, futures):
+            worker_gain, passes, moves, move_log = future.result()
+            replayed = 0
+            for v, to in move_log:
+                replayed += state.move(v, to)
+            if replayed != worker_gain:
+                raise PartitionError(
+                    f"parallel refinement diverged on pair ({a}, {b}): "
+                    f"worker gain {worker_gain} != replayed {replayed} "
+                    "(pairs in a round must be disjoint)"
+                )
+            round_gain += replayed
+            if recorder.enabled:
+                recorder.incr("part.fm.passes", passes)
+                recorder.incr("part.fm.moves", moves)
+                recorder.incr("part.fm.gain", replayed)
+        return round_gain
+
+    # -- telemetry --------------------------------------------------------
+
+    def record_summary(self) -> None:
+        """Record the structural parallelism metrics of the whole run:
+        resolved worker count, ideal (critical-path) speedup and worker
+        utilization.  All deterministic; recorded as maxima so restarts
+        keep the best-run view rather than summing ratios."""
+        recorder = self._recorder
+        if not recorder.enabled or self._tasks == 0:
+            return
+        slots = max(self._slots, 1)
+        recorder.observe_max("part.refine.workers", self.workers)
+        recorder.observe_max("part.refine.ideal_speedup",
+                             round(self._tasks / slots, 4))
+        recorder.observe_max("part.refine.utilization",
+                             round(self._tasks / (slots * self.workers), 4))

@@ -110,9 +110,13 @@ def evaluate_partition(
 PartitionFn = Callable[[Netlist, int, float], MultiwayResult]
 
 
-def _default_partitioner(seed: int, pairing: str) -> PartitionFn:
+def _default_partitioner(
+    seed: int, pairing: str, refine_workers: int | None = None
+) -> PartitionFn:
     def fn(netlist: Netlist, k: int, b: float) -> MultiwayResult:
-        return design_driven_partition(netlist, k, b, seed=seed, pairing=pairing)
+        return design_driven_partition(
+            netlist, k, b, seed=seed, pairing=pairing, workers=refine_workers
+        )
 
     return fn
 
@@ -127,11 +131,18 @@ def brute_force_presim(
     seed: int = 0,
     pairing: str = "gain",
     partitioner: PartitionFn | None = None,
+    refine_workers: int | None = None,
 ) -> PresimStudy:
-    """Evaluate every (k, b) combination; Tables 3 and 4's generator."""
+    """Evaluate every (k, b) combination; Tables 3 and 4's generator.
+
+    ``refine_workers`` is forwarded to
+    :func:`~repro.core.multiway.design_driven_partition` (ignored when a
+    custom ``partitioner`` is supplied); any worker count yields the
+    same partitions — see ``docs/parallelism.md``.
+    """
     if not ks or not bs:
         raise ConfigError("ks and bs must be non-empty")
-    partition_fn = partitioner or _default_partitioner(seed, pairing)
+    partition_fn = partitioner or _default_partitioner(seed, pairing, refine_workers)
     circuit = compile_circuit(netlist)
     sequential, _ = run_sequential_baseline(circuit, events, base_spec)
     points: list[PresimPoint] = []
@@ -156,6 +167,7 @@ def heuristic_presim(
     seed: int = 0,
     pairing: str = "gain",
     partitioner: PartitionFn | None = None,
+    refine_workers: int | None = None,
     b_start: float = 7.5,
     b_stop: float = 15.0,
     b_step: float = 2.5,
@@ -170,7 +182,7 @@ def heuristic_presim(
     """
     if max_k < 2:
         raise ConfigError("heuristic presimulation needs max_k >= 2")
-    partition_fn = partitioner or _default_partitioner(seed, pairing)
+    partition_fn = partitioner or _default_partitioner(seed, pairing, refine_workers)
     circuit = compile_circuit(netlist)
     sequential, _ = run_sequential_baseline(circuit, events, base_spec)
     points: list[PresimPoint] = []

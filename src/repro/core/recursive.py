@@ -28,6 +28,7 @@ from .balance import BalanceConstraint
 from .cone import cone_partition
 from .fm import refine_pair
 from .multiway import MultiwayResult
+from .parallel_refine import resolve_workers
 
 __all__ = ["recursive_design_driven_partition"]
 
@@ -38,6 +39,7 @@ def recursive_design_driven_partition(
     b: float,
     seed: int = 0,
     max_fm_passes: int = 8,
+    workers: int | None = None,
 ) -> MultiwayResult:
     """k-way partition by recursive two-way design-driven splits.
 
@@ -47,7 +49,16 @@ def recursive_design_driven_partition(
     (the two-way predecessor [16] flattens too, but interleaving
     flattening with recursion re-derives the direct algorithm; keeping
     the recursive baseline pure preserves the §3.1.1 contrast).
+
+    ``workers`` is accepted for interface parity with
+    :func:`repro.core.multiway.design_driven_partition` and validated
+    through the shared :func:`repro.core.parallel_refine.resolve_workers`
+    policy, but each recursive level refines a *single* pair — there is
+    no disjoint-pair round to fan out, so the value cannot change the
+    result or the schedule (this limitation is exactly the paper's
+    §3.1.1 argument against the recursive approach).
     """
+    resolve_workers(workers)  # validate; single-pair splits stay serial
     if isinstance(netlist_or_clustering, Clustering):
         clustering = netlist_or_clustering
     else:

@@ -36,6 +36,11 @@ METRIC_REGISTRY: dict[str, str] = {
     "part.fm.moves": "vertex moves retained after best-prefix rollback",
     "part.fm.gain": "total realized cut gain across all FM passes",
     "part.fm.rebalance_moves": "vertices moved by balance repair (rebalance_pair)",
+    "part.refine.rounds": "conflict-free pair rounds executed by the refinement engine",
+    "part.refine.tasks": "pair-refinement tasks executed (one FM pair each)",
+    "part.refine.workers": "refinement worker processes resolved for the run (use .max)",
+    "part.refine.ideal_speedup": "structural speedup bound: tasks / critical-path slots (use .max)",
+    "part.refine.utilization": "fraction of worker slots kept busy across pair rounds (use .max)",
     "part.flatten.steps": "super-gates flattened to meet Formula 1",
     "part.redistribute.calls": "load-redistribution repairs attempted",
     "part.rounds": "pairing+FM improvement rounds until stability",

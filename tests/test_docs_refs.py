@@ -1,0 +1,59 @@
+"""Documentation references stay live (tools/check_docs.py in CI).
+
+Every ``repro.*`` dotted path and ``--flag`` named in the docs must
+resolve against the actual package and CLI — renames and flag removals
+fail here instead of rotting silently in prose.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_docs_have_no_dangling_references():
+    complaints = check_docs.check_docs(REPO_ROOT)
+    assert not complaints, "\n".join(complaints)
+
+
+def test_linter_catches_bad_module(tmp_path):
+    root = tmp_path
+    (root / "docs").mkdir()
+    (root / "benchmarks").mkdir()
+    (root / "tools").mkdir()
+    (root / "README.md").write_text(
+        "see `repro.core.no_such_module` and `repro.obs`\n"
+    )
+    complaints = check_docs.check_docs(root)
+    assert len(complaints) == 1
+    assert "repro.core.no_such_module" in complaints[0]
+
+
+def test_linter_catches_unknown_flag(tmp_path):
+    root = tmp_path
+    (root / "docs").mkdir()
+    (root / "benchmarks").mkdir()
+    (root / "tools").mkdir()
+    (root / "README.md").write_text(
+        "run with `--refine-workers` or `--no-such-flag`\n"
+    )
+    complaints = check_docs.check_docs(root)
+    assert len(complaints) == 1
+    assert "--no-such-flag" in complaints[0]
+
+
+def test_attribute_chains_resolve():
+    assert check_docs.resolves("repro.obs.registry.METRIC_REGISTRY")
+    assert check_docs.resolves("repro.core.parallel_refine")
+    assert not check_docs.resolves("repro.obs.registry.NOPE")
+    assert not check_docs.resolves("repro.nonexistent")
+
+
+def test_cli_flag_universe_includes_subcommands():
+    flags = check_docs.cli_flags()
+    assert "--refine-workers" in flags
+    assert "--fail-on-regression" in flags  # obs diff, nested subparser
+    assert "--metrics-out" in flags

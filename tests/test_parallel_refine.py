@@ -1,0 +1,205 @@
+"""The deterministic parallel refinement engine (repro.core.parallel_refine).
+
+Covers the round scheduler (tournament pairing, greedy packing), the
+shared worker-count policy, and the engine's hard guarantee: partitions
+are bit-identical at any worker count (ISSUE acceptance matrix —
+every pairing strategy x 3 seeds x k in {4, 8}).
+"""
+
+import os
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.circuits import load_circuit
+from repro.core import (
+    design_driven_partition,
+    resolve_workers,
+    schedule_rounds,
+    tournament_rounds,
+)
+from repro.core.parallel_refine import REPRO_WORKERS_ENV, PairwiseRefiner
+from repro.errors import ConfigError
+from repro.obs import MetricsRecorder
+
+
+class TestTournamentRounds:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6, 7, 8, 9, 16, 17])
+    def test_covers_every_pair_exactly_once(self, k):
+        rounds = tournament_rounds(k)
+        played = [p for rnd in rounds for p in rnd]
+        assert sorted(played) == sorted(combinations(range(k), 2))
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6, 7, 8, 9, 16, 17])
+    def test_rounds_are_disjoint(self, k):
+        for rnd in tournament_rounds(k):
+            flat = [x for pair in rnd for x in pair]
+            assert len(flat) == len(set(flat))
+
+    @pytest.mark.parametrize("k", [4, 6, 8, 16])
+    def test_even_k_round_shape(self, k):
+        rounds = tournament_rounds(k)
+        assert len(rounds) == k - 1
+        assert all(len(rnd) == k // 2 for rnd in rounds)
+
+    @pytest.mark.parametrize("k", [3, 5, 7, 9, 17])
+    def test_odd_k_bye_matches_random_pairs_semantics(self, k):
+        # _random_pairs lets exactly one partition sit a round out when
+        # k is odd; the tournament must do the same in every round, and
+        # every partition must take its bye exactly once.
+        rounds = tournament_rounds(k)
+        assert len(rounds) == k
+        byes = []
+        for rnd in rounds:
+            assert len(rnd) == (k - 1) // 2
+            playing = {x for pair in rnd for x in pair}
+            resting = set(range(k)) - playing
+            assert len(resting) == 1
+            byes.append(resting.pop())
+        assert sorted(byes) == list(range(k))
+
+    def test_degenerate_k(self):
+        assert tournament_rounds(0) == []
+        assert tournament_rounds(1) == []
+        assert tournament_rounds(2) == [[(0, 1)]]
+
+    def test_pairs_are_normalized(self):
+        for rnd in tournament_rounds(9):
+            for a, b in rnd:
+                assert a < b
+
+
+class TestScheduleRounds:
+    def test_disjoint_input_is_one_round_in_order(self):
+        pairs = [(2, 5), (0, 1), (3, 4)]
+        assert schedule_rounds(pairs) == [pairs]
+
+    def test_overlapping_pairs_split_greedily(self):
+        rounds = schedule_rounds([(0, 1), (1, 2), (0, 2)])
+        assert rounds == [[(0, 1)], [(1, 2)], [(0, 2)]]
+
+    def test_first_fit_packs_into_existing_rounds(self):
+        rounds = schedule_rounds([(0, 1), (1, 2), (3, 4)])
+        assert rounds == [[(0, 1), (3, 4)], [(1, 2)]]
+
+    def test_empty(self):
+        assert schedule_rounds([]) == []
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(REPRO_WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+        assert resolve_workers(None) == 1
+
+    def test_explicit_honoured_verbatim(self):
+        # deliberate oversubscription is the caller's choice (and the
+        # equivalence tests below rely on it on single-core boxes)
+        assert resolve_workers(1) == 1
+        assert resolve_workers(64) == 64
+
+    def test_explicit_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            resolve_workers(0)
+        with pytest.raises(ConfigError):
+            resolve_workers(-3)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(REPRO_WORKERS_ENV, "2")
+        assert resolve_workers() == min(2, os.cpu_count() or 1)
+
+    def test_env_capped_at_cpu_count(self, monkeypatch):
+        monkeypatch.setenv(REPRO_WORKERS_ENV, "100000")
+        assert resolve_workers() == (os.cpu_count() or 1)
+
+    def test_env_invalid(self, monkeypatch):
+        monkeypatch.setenv(REPRO_WORKERS_ENV, "many")
+        with pytest.raises(ConfigError):
+            resolve_workers()
+        monkeypatch.setenv(REPRO_WORKERS_ENV, "0")
+        with pytest.raises(ConfigError):
+            resolve_workers()
+
+
+NETLIST = load_circuit("viterbi-test")
+
+
+class TestSerialParallelEquivalence:
+    """The determinism contract: worker count never changes the result."""
+
+    @pytest.mark.parametrize("pairing", ["random", "exhaustive", "cut", "gain"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("k", [4, 8])
+    def test_bit_identical_partitions(self, pairing, seed, k):
+        serial = design_driven_partition(
+            NETLIST, k=k, b=10.0, seed=seed, pairing=pairing, workers=1
+        )
+        parallel = design_driven_partition(
+            NETLIST, k=k, b=10.0, seed=seed, pairing=pairing, workers=4
+        )
+        assert serial.assignment.tobytes() == parallel.assignment.tobytes()
+        assert serial.cut_size == parallel.cut_size
+        assert serial.part_weights.tolist() == parallel.part_weights.tolist()
+        assert serial.fm_rounds == parallel.fm_rounds
+        assert serial.history == parallel.history
+
+    def test_counters_match_serial(self):
+        counters = {}
+        for workers in (1, 3):
+            rec = MetricsRecorder()
+            design_driven_partition(
+                NETLIST, k=4, b=10.0, seed=0, pairing="exhaustive",
+                workers=workers, recorder=rec,
+            )
+            counters[workers] = rec.as_counters()
+        # the engine reports identical work either way; only the
+        # resolved worker count and utilization ratios may differ
+        varying = {"part.refine.workers.max", "part.refine.ideal_speedup.max",
+                   "part.refine.utilization.max"}
+        a = {n: v for n, v in counters[1].items() if n not in varying}
+        b = {n: v for n, v in counters[3].items() if n not in varying}
+        assert a == b
+        assert counters[1]["part.refine.workers.max"] == 1
+        assert counters[3]["part.refine.workers.max"] == 3
+
+    def test_env_workers_equivalent(self, monkeypatch):
+        monkeypatch.delenv(REPRO_WORKERS_ENV, raising=False)
+        base = design_driven_partition(NETLIST, k=4, b=10.0, seed=1)
+        monkeypatch.setenv(REPRO_WORKERS_ENV, "2")
+        via_env = design_driven_partition(NETLIST, k=4, b=10.0, seed=1)
+        assert base.assignment.tobytes() == via_env.assignment.tobytes()
+
+
+class TestRefinerEngine:
+    def test_rejects_overlapping_round(self):
+        from repro.core import BalanceConstraint
+        from repro.errors import PartitionError
+        from repro.hypergraph.build import Clustering
+        from repro.hypergraph.partition_state import PartitionState
+
+        clustering = Clustering.top_level(NETLIST)
+        hg = clustering.hypergraph()
+        state = PartitionState(
+            hg, 4, np.arange(hg.num_vertices, dtype=np.int64) % 4
+        )
+        with PairwiseRefiner(1) as refiner:
+            with pytest.raises(PartitionError):
+                refiner.refine_round(
+                    state, [(0, 1), (1, 2)], BalanceConstraint(4, 10.0)
+                )
+
+    def test_engine_records_structural_metrics(self):
+        rec = MetricsRecorder()
+        design_driven_partition(
+            NETLIST, k=8, b=10.0, seed=0, pairing="exhaustive",
+            workers=4, recorder=rec,
+        )
+        counters = rec.as_counters()
+        assert counters["part.refine.rounds"] > 0
+        assert counters["part.refine.tasks"] >= counters["part.refine.rounds"]
+        assert counters["part.refine.workers.max"] == 4
+        # k=8 tournament rounds hold 4 pairs: 4 workers can run them in
+        # one slot, so the structural speedup must exceed 1
+        assert counters["part.refine.ideal_speedup.max"] > 1.0
+        assert 0.0 < counters["part.refine.utilization.max"] <= 1.0

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Documentation reference linter.
+
+Verifies that every ``repro.*`` dotted path and every ``--long-flag``
+named in ``docs/*.md`` and ``README.md`` resolves to something real:
+
+* dotted paths must import as a module or resolve as an attribute chain
+  on an importable module (``repro.obs.registry.METRIC_REGISTRY`` is a
+  module plus an attribute — both forms are accepted);
+* long flags must exist on the ``python -m repro`` CLI (discovered by
+  walking :func:`repro.cli.build_parser` and every subparser), on a
+  script under ``benchmarks/`` or ``tools/`` (discovered by scanning
+  for ``add_argument`` calls), or on the small external-tool allowlist
+  (pytest plugins invoked verbatim in the README).
+
+Docs rot silently — a renamed module or dropped flag leaves stale prose
+behind with no test to catch it.  This linter is that test: it runs in
+CI via ``tests/test_docs_refs.py`` and standalone as
+``python tools/check_docs.py`` (exit 1 lists every dangling reference).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: documentation files the linter covers
+DOC_FILES = ("README.md", "docs")
+
+#: flags that belong to external tools invoked verbatim in the docs
+EXTERNAL_FLAGS = {
+    "--benchmark-only",  # pytest-benchmark
+}
+
+_MODULE_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+_FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+_ADD_ARGUMENT_RE = re.compile(r"add_argument\(\s*['\"](--[a-z][a-z0-9-]*)['\"]")
+
+
+def doc_paths(root: Path) -> list[Path]:
+    out = [root / "README.md"]
+    out.extend(sorted((root / "docs").glob("*.md")))
+    return [p for p in out if p.exists()]
+
+
+def referenced_tokens(text: str) -> tuple[set[str], set[str]]:
+    """(dotted repro paths, long flags) named anywhere in a document."""
+    return set(_MODULE_RE.findall(text)), set(_FLAG_RE.findall(text))
+
+
+def resolves(dotted: str) -> bool:
+    """True when ``dotted`` imports as a module or reaches an attribute
+    on the longest importable module prefix."""
+    parts = dotted.split(".")
+    for cut in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:cut])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        try:
+            for attr in parts[cut:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def cli_flags() -> set[str]:
+    """Every long option of ``python -m repro``, all subcommands included."""
+    from repro.cli import build_parser
+
+    flags: set[str] = set()
+    stack = [build_parser()]
+    while stack:
+        parser = stack.pop()
+        for action in parser._actions:
+            flags.update(o for o in action.option_strings if o.startswith("--"))
+            if isinstance(action, argparse._SubParsersAction):
+                stack.extend(action.choices.values())
+    return flags
+
+
+def script_flags(root: Path) -> set[str]:
+    """Long options declared by scripts under benchmarks/ and tools/."""
+    flags: set[str] = set()
+    for directory in ("benchmarks", "tools"):
+        for script in sorted((root / directory).glob("*.py")):
+            flags.update(_ADD_ARGUMENT_RE.findall(script.read_text()))
+    return flags
+
+
+def check_docs(root: Path = REPO_ROOT) -> list[str]:
+    """Return a list of dangling-reference complaints (empty = clean)."""
+    known_flags = cli_flags() | script_flags(root) | EXTERNAL_FLAGS
+    complaints: list[str] = []
+    for path in doc_paths(root):
+        modules, flags = referenced_tokens(path.read_text())
+        rel = path.relative_to(root)
+        for dotted in sorted(modules):
+            if not resolves(dotted):
+                complaints.append(f"{rel}: unresolvable path `{dotted}`")
+        for flag in sorted(flags):
+            if flag not in known_flags:
+                complaints.append(f"{rel}: unknown CLI flag `{flag}`")
+    return complaints
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=REPO_ROOT,
+                        help="repository root (default: the checkout "
+                             "containing this script)")
+    args = parser.parse_args(argv)
+    complaints = check_docs(args.root)
+    for complaint in complaints:
+        print(complaint)
+    if complaints:
+        print(f"{len(complaints)} dangling documentation reference(s)")
+        return 1
+    print("docs clean: every repro.* path and CLI flag resolves")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
