@@ -20,7 +20,9 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
-from ..hypergraph.partition_state import PartitionState
+import numpy as np
+
+from ..hypergraph.partition_state import _VECTOR_DEGREE, PartitionState
 from ..obs.recorder import NULL_RECORDER, Recorder
 from .balance import BalanceConstraint
 
@@ -47,8 +49,8 @@ class FMPassResult:
 
 
 def _pair_vertices(state: PartitionState, a: int, b: int) -> list[int]:
-    """Vertices currently in partition a or b."""
-    return [v for v in range(state.hg.num_vertices) if state.part[v] in (a, b)]
+    """Vertices currently in partition a or b (ascending ids)."""
+    return state.pair_vertices(a, b).tolist()
 
 
 def refine_pair(
@@ -106,18 +108,22 @@ def _one_pass(
     if not vertices:
         return 0, []
 
-    stamp = {v: 0 for v in vertices}
+    stamp = dict.fromkeys(vertices, 0)
     locked: set[int] = set()
-    heap: list[tuple[int, int, int, int]] = []  # (-gain, v, stamp, target)
 
-    def push(v: int) -> None:
-        frm = state.part_of(v)
-        to = b if frm == a else a
-        g = state.move_gain(v, to)
-        heapq.heappush(heap, (-g, v, stamp[v], to))
-
-    for v in vertices:
-        push(v)
+    # (-gain, v, stamp, target): a total order with no duplicate keys,
+    # so the heap's internal layout (heapify vs. pushes, batch vs.
+    # scalar fill) can never change pop order — only speed.  The
+    # initial fill is one vectorized batch gain query plus an O(n)
+    # heapify.
+    frm_arr = state.part[vertices]
+    targets = np.where(frm_arr == a, b, a)
+    gains = state.move_gains(vertices, targets)
+    heap: list[tuple[int, int, int, int]] = [
+        (-g, u, 0, to)
+        for u, g, to in zip(vertices, gains.tolist(), targets.tolist())
+    ]
+    heapq.heapify(heap)
 
     # move log for best-prefix rollback: (v, frm, to)
     moves: list[tuple[int, int, int]] = []
@@ -125,35 +131,92 @@ def _one_pass(
     best = 0
     best_idx = 0
 
+    # the pair's weights, tracked as plain ints so the admissibility
+    # check per pop costs two comparisons instead of NumPy indexing;
+    # hot callables pre-bound once per pass
+    vw = hg.vertex_weight_list
+    weight_a = int(state.part_weight[a])
+    weight_b = int(state.part_weight[b])
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    move_gain = state.move_gain
+    neighbor_lists = hg.neighbor_lists()
+    # the neighbour-refresh gain evaluation below inlines the scalar
+    # λ-cache kernel of PartitionState.move_gain — this is the hottest
+    # loop in the whole partitioner and even a bound method call per
+    # neighbour is measurable.  Same arithmetic, same integers; the
+    # property tests cross-check both against recompute().
+    part_list = state._part_list
+    adj = state._adj
+    counts_list = state._counts_list
+    lam_list = state._lam_list
+    w_list = state._w_list
+    lam_hits = 0
+
     while heap:
-        neg_g, v, st, to = heapq.heappop(heap)
+        neg_g, v, st, to = heappop(heap)
         if v in locked or st != stamp[v]:
             continue
-        frm = state.part_of(v)
+        frm = part_list[v]
         if frm not in (a, b):  # pragma: no cover - defensive
             continue
         expected_to = b if frm == a else a
         if to != expected_to:
             continue  # stale direction after an interleaved move
-        wv = int(hg.vertex_weight[v])
-        if state.part_weight[to] + wv > hi or state.part_weight[frm] - wv < lo:
+        wv = vw[v]
+        if frm == a:
+            blocked = weight_b + wv > hi or weight_a - wv < lo
+        else:
+            blocked = weight_a + wv > hi or weight_b - wv < lo
+        if blocked:
             # re-push is pointless within this pass: bounds only tighten
             # for this direction as the pass proceeds; simply skip.
             locked.add(v)
             continue
         realized = state.move(v, to)
+        if frm == a:
+            weight_a -= wv
+            weight_b += wv
+        else:
+            weight_b -= wv
+            weight_a += wv
         locked.add(v)
         moves.append((v, frm, to))
         cum += realized
         if cum > best:
             best = cum
             best_idx = len(moves)
-        # refresh gains of unlocked neighbours sharing an edge
-        for u in hg.neighbors(v):
+        # refresh gains of unlocked neighbours sharing an edge — the
+        # cached adjacency avoids rebuilding a pin set per move; the
+        # handful of survivors is re-evaluated through the scalar gain
+        # path (same integers as the batch query, no array dispatch)
+        for u in neighbor_lists[v]:
             if u in stamp and u not in locked:
-                stamp[u] += 1
-                push(u)
+                su = stamp[u] + 1
+                stamp[u] = su
+                frm_u = part_list[u]
+                to_u = b if frm_u == a else a
+                edges_u = adj[u]
+                if len(edges_u) > _VECTOR_DEGREE:
+                    g = move_gain(u, to_u)
+                else:
+                    lam_hits += len(edges_u)
+                    g = 0
+                    for e in edges_u:
+                        row = counts_list[e]
+                        spanned = lam_list[e]
+                        new_spanned = (
+                            spanned
+                            - (1 if row[frm_u] == 1 else 0)
+                            + (1 if row[to_u] == 0 else 0)
+                        )
+                        if spanned > 1 and new_spanned == 1:
+                            g += w_list[e]
+                        elif spanned == 1 and new_spanned > 1:
+                            g -= w_list[e]
+                heappush(heap, (-g, u, su, to_u))
 
+    state.lambda_hits += lam_hits
     # roll back past the best prefix
     for v, frm, _ in reversed(moves[best_idx:]):
         state.move(v, frm)
@@ -181,16 +244,20 @@ def rebalance_pair(
     lo, hi = constraint.bounds(hg.total_weight)
     moved = 0
     while state.part_weight[heavy] > hi or state.part_weight[light] < lo:
-        candidates = [v for v in range(hg.num_vertices) if state.part_of(v) == heavy]
+        candidates = np.nonzero(state.part == heavy)[0]
+        # one batch gain query for every candidate; the admissibility
+        # filter and the (-gain, weight) selection key — first-smallest
+        # wins ties, i.e. lowest vertex id — are unchanged
+        gains = state.move_gains(candidates, light)
         best_v = None
         best_key: tuple[int, int] | None = None
-        for v in candidates:
+        for v, g in zip(candidates.tolist(), gains.tolist()):
             wv = int(hg.vertex_weight[v])
             if state.part_weight[light] + wv > hi:
                 continue
             if state.part_weight[heavy] - wv < lo:
                 continue
-            key = (-state.move_gain(v, light), wv)
+            key = (-g, wv)
             if best_key is None or key < best_key:
                 best_key = key
                 best_v = v

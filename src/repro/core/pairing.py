@@ -71,23 +71,22 @@ def estimate_pair_gain(state: PartitionState, a: int, b: int, sample: int = 0) -
     upper-bound-flavoured proxy (moves interact), adequate for ranking
     pairs.  ``sample`` > 0 caps the number of boundary vertices
     inspected for very large states.
+
+    Fully vectorized: :meth:`PartitionState.pair_boundary` masks the
+    spanning edges through the λ array and gathers their pins in one
+    CSR pass (the boundary comes back sorted, so the sample cap is the
+    same deterministic ``sorted(...)[:sample]`` prefix as before), and
+    one batch :meth:`PartitionState.move_gains` query replaces the
+    per-vertex gain loop.
     """
-    hg = state.hg
-    boundary: set[int] = set()
-    mask = (state.edge_part_count[:, a] > 0) & (state.edge_part_count[:, b] > 0)
-    for e in np.nonzero(mask)[0]:
-        for v in hg.edge_vertices(int(e)):
-            if state.part[v] in (a, b):
-                boundary.add(int(v))
+    boundary = state.pair_boundary(a, b)
     if sample and len(boundary) > sample:
-        boundary = set(sorted(boundary)[:sample])
-    total = 0
-    for v in boundary:
-        to = b if state.part_of(v) == a else a
-        g = state.move_gain(v, to)
-        if g > 0:
-            total += g
-    return total
+        boundary = boundary[:sample]
+    if not len(boundary):
+        return 0
+    targets = np.where(state.part[boundary] == a, b, a)
+    gains = state.move_gains(boundary, targets)
+    return int(gains[gains > 0].sum())
 
 
 def _gain_based_pairs(state: PartitionState, rng: np.random.Generator) -> list[tuple[int, int]]:

@@ -25,7 +25,10 @@ make.  The engine therefore:
 1. ships the read-only CSR hypergraph arrays to each worker **once**
    (pool initializer; re-shipped only when super-gate flattening
    replaces the hypergraph),
-2. sends each worker the round-start assignment plus one pair,
+2. sends each worker the round-start derived-array snapshot
+   (:meth:`PartitionState.export_arrays` — assignment, weights,
+   per-edge counts, λ, cut) plus one pair, adopted without any
+   per-pair recompute,
 3. receives a *slim move list* (the retained ``(vertex, target)``
    moves) per pair, and
 4. replays the move lists on the driver's state **in pair order** —
@@ -220,15 +223,22 @@ def _init_refine_worker(hg, k, constraint, max_passes) -> None:
 
 
 def _refine_pair_task(
-    assignment: np.ndarray, a: int, b: int
+    snapshot: tuple, a: int, b: int
 ) -> tuple[int, int, int, list[tuple[int, int]]]:
     """Worker: refine one pair against the round-start snapshot.
+
+    ``snapshot`` is the driver's :meth:`PartitionState.export_arrays`
+    payload — the full derived state (assignment, partition weights,
+    per-edge partition counts, λ, cut, SOED), adopted wholesale via
+    :meth:`PartitionState.from_arrays`.  Unpickling already gave this
+    process private copies, so reconstruction costs nothing beyond
+    transport: no per-pair ``recompute`` over the pins.
 
     Returns ``(gain, passes, moves, move_log)`` — the slim payload the
     driver replays; the worker's full state is discarded.
     """
     hg, k, constraint, max_passes = _WORKER_CTX
-    state = PartitionState(hg, k, assignment)
+    state = PartitionState.from_arrays(hg, k, snapshot)
     res = refine_pair(state, a, b, constraint, max_passes=max_passes,
                       collect_moves=True)
     return res.gain, res.passes, res.moves, res.moves_log or []
@@ -331,7 +341,10 @@ class PairwiseRefiner:
                                     recorder=recorder).gain
             return gain
         pool = self._ensure_pool(state, constraint, max_passes)
-        snapshot = state.part.copy()
+        # full derived-array snapshot, exported once per round; workers
+        # adopt it directly (export copies, so replaying moves below
+        # cannot race the executor's late pickling of queued tasks)
+        snapshot = state.export_arrays()
         futures = [pool.submit(_refine_pair_task, snapshot, a, b)
                    for a, b in pairs]
         round_gain = 0

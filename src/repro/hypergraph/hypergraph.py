@@ -31,6 +31,26 @@ from ..errors import HypergraphError
 __all__ = ["Hypergraph", "HypergraphBuilder"]
 
 
+def _csr_gather(
+    ptr: np.ndarray, data: np.ndarray, ids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate the CSR slices ``data[ptr[i]:ptr[i+1]]`` for ``ids``.
+
+    Returns ``(values, counts)`` where ``values`` is the concatenation
+    in ``ids`` order and ``counts[j]`` the slice length of ``ids[j]``.
+    Fully vectorized — the index array is ``repeat(start) + ramp``.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    starts = ptr[ids]
+    counts = ptr[ids + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=data.dtype), counts
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    idx = np.arange(total, dtype=np.int64) + np.repeat(starts - offsets, counts)
+    return data[idx], counts
+
+
 class Hypergraph:
     """An immutable weighted hypergraph.
 
@@ -54,8 +74,13 @@ class Hypergraph:
         "edge_weight",
         "_edge_ptr",
         "_edge_pins",
+        "_pin_edge",
         "_vertex_ptr",
         "_vertex_pins",
+        "_neighbor_lists",
+        "_vertex_edges_lists",
+        "_edge_weight_list",
+        "_vertex_weight_list",
         "vertex_names",
         "edge_names",
     )
@@ -121,21 +146,30 @@ class Hypergraph:
         Vectorized: a stable argsort of the pin array groups each
         vertex's incidences; the matching edge ids come from repeating
         edge ids by edge size.  O(pins log pins), no Python-level loop.
+        Also retains ``_pin_edge`` — the owning edge of every entry of
+        the edge-major pin array — which the vectorized
+        :meth:`~repro.hypergraph.partition_state.PartitionState.recompute`
+        scatters through, and seeds the lazy per-vertex neighbor cache.
         """
         n = len(self.vertex_weight)
         counts = np.zeros(n + 1, dtype=np.int64)
         if len(self._edge_pins):
             np.add.at(counts, self._edge_pins + 1, 1)
         self._vertex_ptr = np.cumsum(counts)
+        self._neighbor_lists: list[list[int]] | None = None
+        self._vertex_edges_lists: list[list[int]] | None = None
+        self._edge_weight_list: list[int] | None = None
+        self._vertex_weight_list: list[int] | None = None
         if len(self._edge_pins) == 0:
+            self._pin_edge = np.empty(0, dtype=np.int64)
             self._vertex_pins = np.empty(0, dtype=np.int64)
             return
         sizes = np.diff(self._edge_ptr)
-        edge_of_pin = np.repeat(
+        self._pin_edge = np.repeat(
             np.arange(self.num_edges, dtype=np.int64), sizes
         )
         order = np.argsort(self._edge_pins, kind="stable")
-        self._vertex_pins = edge_of_pin[order]
+        self._vertex_pins = self._pin_edge[order]
 
     def _validate(self) -> None:
         n = self.num_vertices
@@ -178,6 +212,17 @@ class Hypergraph:
         """Sum of all vertex weights (total gate count of the circuit)."""
         return int(self.vertex_weight.sum())
 
+    @property
+    def pin_vertices(self) -> np.ndarray:
+        """Flat edge-major pin array: the vertex of every incidence."""
+        return self._edge_pins
+
+    @property
+    def pin_edges(self) -> np.ndarray:
+        """Flat edge-major owner array: the edge of every incidence
+        (aligned with :attr:`pin_vertices`)."""
+        return self._pin_edge
+
     def edge_vertices(self, e: int) -> np.ndarray:
         """Vertices on hyperedge ``e`` (read-only view, sorted)."""
         return self._edge_pins[self._edge_ptr[e] : self._edge_ptr[e + 1]]
@@ -211,13 +256,110 @@ class Hypergraph:
         for e in range(self.num_edges):
             yield e, self.edge_vertices(e)
 
+    def edges_pins(self, edges: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Bulk CSR gather: concatenated pin lists of many edges.
+
+        Returns ``(pins, counts)`` — the pins of ``edges[0]``, then
+        ``edges[1]``, ..., plus the per-edge pin counts (so callers can
+        map flat entries back to their edge with ``np.repeat``).
+        """
+        return _csr_gather(self._edge_ptr, self._edge_pins, edges)
+
+    def vertices_edges(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Bulk CSR gather: concatenated incident-edge lists of many
+        vertices, as ``(edges, counts)`` (see :meth:`edges_pins`)."""
+        return _csr_gather(self._vertex_ptr, self._vertex_pins, vertices)
+
+    def neighbor_array(self, v: int) -> np.ndarray:
+        """Vertices sharing at least one hyperedge with ``v`` — sorted
+        unique ``int64`` array (see :meth:`neighbor_lists`)."""
+        return np.asarray(self.neighbor_list(v), dtype=np.int64)
+
+    def neighbor_list(self, v: int) -> list[int]:
+        """Neighbors of ``v`` as a cached plain-``int`` list.
+
+        The FM inner loop consumes neighbors element-wise (dict lookups,
+        heap keys); handing it native ints skips a per-move
+        ``ndarray.tolist()`` conversion.
+        """
+        return self.neighbor_lists()[v]
+
+    def neighbor_lists(self) -> list[list[int]]:
+        """The whole vertex → neighbor adjacency as nested plain lists.
+
+        Built once for the entire graph — one bulk CSR gather expands
+        every vertex's incident edges to their pins, then a single
+        ``np.unique`` over combined ``(vertex, neighbor)`` keys sorts
+        and deduplicates all adjacency rows at once.  The hypergraph is
+        immutable, so the cache can never go stale; per-row semantics
+        match the old per-vertex path exactly (sorted unique neighbor
+        ids, the vertex itself excluded).
+        """
+        lists = self._neighbor_lists
+        if lists is None:
+            n = self.num_vertices
+            if self.num_pins == 0:
+                lists = [[] for _ in range(n)]
+            else:
+                degrees = np.diff(self._vertex_ptr)
+                owners = np.repeat(np.arange(n, dtype=np.int64), degrees)
+                pins, counts = _csr_gather(
+                    self._edge_ptr, self._edge_pins, self._vertex_pins
+                )
+                keys = np.unique(np.repeat(owners, counts) * n + pins)
+                owner, neigh = np.divmod(keys, n)
+                keep = owner != neigh
+                owner = owner[keep]
+                neigh = neigh[keep]
+                ptr = np.concatenate(
+                    ([0], np.cumsum(np.bincount(owner, minlength=n)))
+                ).tolist()
+                flat = neigh.tolist()
+                lists = [flat[ptr[u]:ptr[u + 1]] for u in range(n)]
+            self._neighbor_lists = lists
+        return lists
+
     def neighbors(self, v: int) -> set[int]:
         """All vertices sharing at least one hyperedge with ``v``."""
-        out: set[int] = set()
-        for e in self.vertex_edges(v):
-            out.update(int(u) for u in self.edge_vertices(e))
-        out.discard(v)
-        return out
+        return set(self.neighbor_list(v))
+
+    def vertex_edges_list(self, v: int) -> list[int]:
+        """Incident edges of ``v`` as a plain-``int`` list.
+
+        Built for the whole graph on first use (one pass over the CSR
+        arrays); scalar move/gain bookkeeping iterates these lists to
+        avoid per-element NumPy scalar extraction, which dominates at
+        the typical netlist degree of 2–5.
+        """
+        return self.vertex_edges_lists()[v]
+
+    def vertex_edges_lists(self) -> list[list[int]]:
+        """The whole vertex → incident-edge adjacency as nested plain
+        lists (see :meth:`vertex_edges_list`); built once, cached."""
+        lists = self._vertex_edges_lists
+        if lists is None:
+            flat = self._vertex_pins.tolist()
+            ptr = self._vertex_ptr.tolist()
+            lists = [
+                flat[ptr[u]:ptr[u + 1]] for u in range(self.num_vertices)
+            ]
+            self._vertex_edges_lists = lists
+        return lists
+
+    @property
+    def edge_weight_list(self) -> list[int]:
+        """``edge_weight`` as a cached plain-``int`` list (see
+        :meth:`vertex_edges_list` for why the scalar paths want it)."""
+        if self._edge_weight_list is None:
+            self._edge_weight_list = self.edge_weight.tolist()
+        return self._edge_weight_list
+
+    @property
+    def vertex_weight_list(self) -> list[int]:
+        """``vertex_weight`` as a cached plain-``int`` list."""
+        if self._vertex_weight_list is None:
+            self._vertex_weight_list = self.vertex_weight.tolist()
+        return self._vertex_weight_list
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

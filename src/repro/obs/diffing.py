@@ -68,6 +68,14 @@ NEUTRAL_METRICS = frozenset({
     "part.cone.cones",
     "part.cone.roots",
     "part.cone.orphan_vertices",
+    # partition-core instrumentation: counts of work *done by* the
+    # vectorized bookkeeping — descriptive throughput quantities, not
+    # quality signals; deterministic for a fixed seed so they diff
+    # byte-for-byte but never gate
+    "part.core.lambda_hits",
+    "part.core.gain_batches",
+    "part.core.gain_batch_vertices",
+    "part.core.boundary_batches",
 })
 
 #: default relative-delta gate: a directional metric moving more than

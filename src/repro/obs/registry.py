@@ -41,6 +41,10 @@ METRIC_REGISTRY: dict[str, str] = {
     "part.refine.workers": "refinement worker processes resolved for the run (use .max)",
     "part.refine.ideal_speedup": "structural speedup bound: tasks / critical-path slots (use .max)",
     "part.refine.utilization": "fraction of worker slots kept busy across pair rounds (use .max)",
+    "part.core.lambda_hits": "edge λ-cache reads serving incremental gain/move queries",
+    "part.core.gain_batches": "batch move_gains() queries answered by the vectorized core",
+    "part.core.gain_batch_vertices": "total vertices evaluated across batch gain queries",
+    "part.core.boundary_batches": "vectorized pair-boundary extractions (pairing + FM fills)",
     "part.flatten.steps": "super-gates flattened to meet Formula 1",
     "part.redistribute.calls": "load-redistribution repairs attempted",
     "part.rounds": "pairing+FM improvement rounds until stability",
