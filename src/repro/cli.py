@@ -154,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="N",
                     help="refinement worker processes per candidate "
                          "partition (default: REPRO_WORKERS env or serial)")
+    se.add_argument("--presim-workers", type=int, default=None,
+                    metavar="N",
+                    help="worker processes fanning out the (k, b) "
+                         "candidates; any count yields the identical "
+                         "study (default: REPRO_WORKERS env or serial)")
 
     ob = sub.add_parser("obs", help="trace analysis & regression gates")
     obsub = ob.add_subparsers(dest="obs_command", required=True)
@@ -500,11 +505,13 @@ def _cmd_search(args, out) -> int:
     if args.heuristic:
         study = heuristic_presim(netlist, events, max_k=args.max_k,
                                  seed=args.seed,
-                                 refine_workers=args.refine_workers)
+                                 refine_workers=args.refine_workers,
+                                 workers=args.presim_workers)
     else:
         study = brute_force_presim(
             netlist, events, ks=tuple(range(2, args.max_k + 1)),
             seed=args.seed, refine_workers=args.refine_workers,
+            workers=args.presim_workers,
         )
     for p in study.points:
         out.write(f"k={p.k} b={p.b:<5} cut={p.cut_size:<6} "

@@ -18,6 +18,8 @@ keeps the partition with the best speedup.  Two searches are provided:
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
@@ -26,9 +28,11 @@ from ..sim.cluster import ClusterSpec, TimeWarpConfig
 from ..sim.compiled import CompiledCircuit, compile_circuit
 from ..sim.engine import SimulationReport, run_partitioned, run_sequential_baseline
 from ..sim.events import InputEvent
+from ..sim.sequential import SequentialSimulator
 from ..verilog.netlist import Netlist
 from .balance import PAPER_B_VALUES
 from .multiway import MultiwayResult, design_driven_partition
+from .parallel_refine import resolve_workers
 
 __all__ = [
     "PresimPoint",
@@ -121,6 +125,124 @@ def _default_partitioner(
     return fn
 
 
+# -- parallel (k, b) fan-out ------------------------------------------------
+#
+# Every (k, b) candidate is an independent partition + pre-simulation,
+# so the sweep fans out over a process pool the same way the pairwise
+# refinement engine does (docs/parallelism.md): the expensive read-only
+# inputs — netlist, stimulus, cost model and the *once-computed*
+# sequential baseline — ship to each worker exactly once through the
+# pool initializer, workers return finished PresimPoints, and the
+# driver consumes them in submission (k, b) order.  Each point is
+# deterministic on its own, so the merged study is bit-identical to the
+# serial sweep at any worker count.
+
+#: per-worker context installed by :func:`_init_presim_worker`
+_WORKER_CTX: dict | None = None
+
+
+def _init_presim_worker(
+    netlist: Netlist,
+    events: Sequence[InputEvent],
+    base_spec: ClusterSpec,
+    config: TimeWarpConfig,
+    seed: int,
+    pairing: str,
+    refine_workers: int | None,
+    sequential: SequentialSimulator,
+) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = {
+        "netlist": netlist,
+        "events": events,
+        "base_spec": base_spec,
+        "config": config,
+        "partition_fn": _default_partitioner(seed, pairing, refine_workers),
+        "circuit": compile_circuit(netlist),
+        "sequential": sequential,
+    }
+
+
+def _presim_point_task(kb: tuple[int, float]) -> PresimPoint:
+    ctx = _WORKER_CTX
+    assert ctx is not None, "presim worker used before initialization"
+    k, b = kb
+    part = ctx["partition_fn"](ctx["netlist"], k, b)
+    return evaluate_partition(
+        ctx["circuit"], part, ctx["events"], ctx["base_spec"], ctx["config"],
+        sequential=ctx["sequential"],
+    )
+
+
+class _PointMapper:
+    """Maps (k, b) combos to PresimPoints, serially or over a pool.
+
+    The pool engages only when it can help *and* the semantics allow:
+    more than one worker resolved, a picklable default partitioner (a
+    custom ``partitioner`` callable stays in-process), and not inside a
+    daemon worker (nested pools are forbidden; the sweep degrades to
+    serial exactly like the refinement engine).  Results always come
+    back in the order the combos were submitted.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        events: Sequence[InputEvent],
+        base_spec: ClusterSpec,
+        config: TimeWarpConfig,
+        seed: int,
+        pairing: str,
+        refine_workers: int | None,
+        partitioner: PartitionFn | None,
+        workers: int | None,
+        circuit: CompiledCircuit,
+        sequential: SequentialSimulator,
+    ) -> None:
+        self._serial_fn = partitioner or _default_partitioner(
+            seed, pairing, refine_workers
+        )
+        self._circuit = circuit
+        self._netlist = netlist
+        self._events = events
+        self._base_spec = base_spec
+        self._config = config
+        self._sequential = sequential
+        n = resolve_workers(workers)
+        if partitioner is not None or multiprocessing.current_process().daemon:
+            n = 1
+        self.workers = n
+        self._pool: ProcessPoolExecutor | None = None
+        if n > 1:
+            self._pool = ProcessPoolExecutor(
+                max_workers=n,
+                initializer=_init_presim_worker,
+                initargs=(netlist, events, base_spec, config, seed, pairing,
+                          refine_workers, sequential),
+            )
+
+    @property
+    def parallel(self) -> bool:
+        return self._pool is not None
+
+    def one(self, k: int, b: float) -> PresimPoint:
+        return evaluate_partition(
+            self._circuit, self._serial_fn(self._netlist, k, b),
+            self._events, self._base_spec, self._config,
+            sequential=self._sequential,
+        )
+
+    def map(self, combos: Sequence[tuple[int, float]]) -> list[PresimPoint]:
+        if self._pool is not None and len(combos) > 1:
+            return list(self._pool.map(_presim_point_task, combos))
+        return [self.one(k, b) for k, b in combos]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
 def brute_force_presim(
     netlist: Netlist,
     events: Sequence[InputEvent],
@@ -132,6 +254,7 @@ def brute_force_presim(
     pairing: str = "gain",
     partitioner: PartitionFn | None = None,
     refine_workers: int | None = None,
+    workers: int | None = None,
 ) -> PresimStudy:
     """Evaluate every (k, b) combination; Tables 3 and 4's generator.
 
@@ -139,21 +262,26 @@ def brute_force_presim(
     :func:`~repro.core.multiway.design_driven_partition` (ignored when a
     custom ``partitioner`` is supplied); any worker count yields the
     same partitions — see ``docs/parallelism.md``.
+
+    ``workers`` fans the independent (k, b) candidates over a process
+    pool (default: the ``REPRO_WORKERS`` policy of
+    :func:`~repro.core.parallel_refine.resolve_workers`).  The
+    sequential baseline is computed once and shipped to the workers;
+    results are merged in (k, b) submission order, so the study —
+    points, stats and chosen best — is identical at any worker count.
     """
     if not ks or not bs:
         raise ConfigError("ks and bs must be non-empty")
-    partition_fn = partitioner or _default_partitioner(seed, pairing, refine_workers)
     circuit = compile_circuit(netlist)
     sequential, _ = run_sequential_baseline(circuit, events, base_spec)
-    points: list[PresimPoint] = []
-    for k in ks:
-        for b in bs:
-            part = partition_fn(netlist, k, b)
-            points.append(
-                evaluate_partition(
-                    circuit, part, events, base_spec, config, sequential=sequential
-                )
-            )
+    mapper = _PointMapper(
+        netlist, events, base_spec, config, seed, pairing, refine_workers,
+        partitioner, workers, circuit, sequential,
+    )
+    try:
+        points = mapper.map([(k, b) for k in ks for b in bs])
+    finally:
+        mapper.close()
     best = max(points, key=lambda p: (p.speedup, -p.k, p.b))
     return PresimStudy(points=points, best=best, runs=len(points))
 
@@ -171,6 +299,7 @@ def heuristic_presim(
     b_start: float = 7.5,
     b_stop: float = 15.0,
     b_step: float = 2.5,
+    workers: int | None = None,
 ) -> PresimStudy:
     """The paper's heuristic search (Figure 3).
 
@@ -179,31 +308,49 @@ def heuristic_presim(
     upward, abandons the b sweep on the first non-improving speedup,
     then decrements k.  Saves pre-simulation runs at the cost of
     possible local-minimum capture.
+
+    With ``workers`` > 1 each k's whole b-row is evaluated
+    speculatively in parallel, then walked in order applying the serial
+    early-abandon rule; points past the abandon are discarded, so the
+    recorded study (points, stats, best) is identical to the serial
+    search — only wasted speculative work is traded for wall time.
     """
     if max_k < 2:
         raise ConfigError("heuristic presimulation needs max_k >= 2")
-    partition_fn = partitioner or _default_partitioner(seed, pairing, refine_workers)
     circuit = compile_circuit(netlist)
     sequential, _ = run_sequential_baseline(circuit, events, base_spec)
+    mapper = _PointMapper(
+        netlist, events, base_spec, config, seed, pairing, refine_workers,
+        partitioner, workers, circuit, sequential,
+    )
     points: list[PresimPoint] = []
     max_speedup = 1.0
     best: PresimPoint | None = None
-    k = max_k
-    while k >= 2:
-        b1 = b_start
-        while b1 < b_stop:
-            part = partition_fn(netlist, k, b1)
-            point = evaluate_partition(
-                circuit, part, events, base_spec, config, sequential=sequential
+    try:
+        k = max_k
+        while k >= 2:
+            row_bs: list[float] = []
+            b1 = b_start
+            while b1 < b_stop:
+                row_bs.append(b1)
+                b1 += b_step
+            # parallel: evaluate the whole row speculatively, walk it
+            # in order, drop everything past the abandon point.
+            # serial: evaluate lazily — exactly the paper's loop.
+            row = iter(
+                mapper.map([(k, b) for b in row_bs]) if mapper.parallel
+                else (mapper.one(k, b) for b in row_bs)
             )
-            points.append(point)
-            if point.speedup > max_speedup:
-                max_speedup = point.speedup
-                best = point
-            else:
-                break
-            b1 += b_step
-        k -= 1
+            for point in row:
+                points.append(point)
+                if point.speedup > max_speedup:
+                    max_speedup = point.speedup
+                    best = point
+                else:
+                    break  # abandon the row; speculative extras dropped
+            k -= 1
+    finally:
+        mapper.close()
     if best is None:
         # nothing beat speedup 1.0: report the least-bad point anyway
         best = max(points, key=lambda p: p.speedup)

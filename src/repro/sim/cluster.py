@@ -291,6 +291,12 @@ class RunStats:
     migrations: int = 0
     peak_checkpoint_bytes: int = 0
     max_straggler_depth: int = 0
+    #: affected-gate batches evaluated through the vectorized kernel
+    kernel_batches: int = 0
+    #: combinational gate evaluations done by the vectorized kernel
+    kernel_batch_gates: int = 0
+    #: combinational gate evaluations done on the scalar fast path
+    kernel_scalar_gates: int = 0
     machines: list[MachineStats] = field(default_factory=list)
     lps: list[LPStats] = field(default_factory=list)
 
@@ -336,6 +342,9 @@ class RunStats:
             "tw.peak_checkpoint_bytes": self.peak_checkpoint_bytes,
             "tw.wall_time": self.wall_time,
             "tw.speedup": self.speedup,
+            "sim.kernel.batches": self.kernel_batches,
+            "sim.kernel.batch_gates": self.kernel_batch_gates,
+            "sim.kernel.scalar_gates": self.kernel_scalar_gates,
             "seq.wall_time": self.sequential_wall_time,
         }
 

@@ -11,13 +11,15 @@ Sequential cells keep their input pin roles: ``dff`` = (d, clk),
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..errors import SimulationError
 from ..verilog.netlist import CONST0, CONST1, Netlist
 from .logic import GATE_CODES, SEQ_CODE_MIN, VX, eval_gate_coded
 
-__all__ = ["CompiledCircuit", "compile_circuit"]
+__all__ = ["CompiledCircuit", "compile_circuit", "pad_pin_matrix"]
 
 
 class CompiledCircuit:
@@ -36,6 +38,16 @@ class CompiledCircuit:
     initial_values:
         ``(num_nets,)`` int8 initial value array: constants at their
         value, everything else X.
+    pin_net / pin_offsets:
+        CSR form of ``gate_inputs``: gate ``g`` reads nets
+        ``pin_net[pin_offsets[g]:pin_offsets[g + 1]]`` in pin order.
+    sink_gate / sink_offsets:
+        CSR form of ``net_sinks``: net ``n`` feeds gates
+        ``sink_gate[sink_offsets[n]:sink_offsets[n + 1]]``.
+    pin_matrix / pin_mask:
+        ``(num_gates, max_arity)`` dense pin-net matrix padded with 0
+        plus its validity mask — the gather index for the batched gate
+        kernel (:func:`repro.sim.logic.eval_gates_batch`).
     """
 
     __slots__ = (
@@ -49,6 +61,15 @@ class CompiledCircuit:
         "num_nets",
         "inputs",
         "outputs",
+        "pin_net",
+        "pin_offsets",
+        "sink_gate",
+        "sink_offsets",
+        "pin_matrix",
+        "pin_mask",
+        "max_arity",
+        "gate_code_list",
+        "gate_output_list",
     )
 
     def __init__(self, netlist: Netlist) -> None:
@@ -74,6 +95,39 @@ class CompiledCircuit:
         self.inputs = tuple(netlist.inputs)
         self.outputs = tuple(netlist.outputs)
 
+        # CSR pin/sink arrays + the padded pin matrix for batched eval
+        pin_offsets = np.zeros(self.num_gates + 1, dtype=np.int64)
+        for gid, pins in enumerate(self.gate_inputs):
+            pin_offsets[gid + 1] = pin_offsets[gid] + len(pins)
+        self.pin_offsets = pin_offsets
+        self.pin_net = np.fromiter(
+            (n for pins in self.gate_inputs for n in pins),
+            dtype=np.int64,
+            count=int(pin_offsets[-1]),
+        )
+        sink_offsets = np.zeros(self.num_nets + 1, dtype=np.int64)
+        for net, sinks in enumerate(self.net_sinks):
+            sink_offsets[net + 1] = sink_offsets[net] + len(sinks)
+        self.sink_offsets = sink_offsets
+        self.sink_gate = np.fromiter(
+            (g for sinks in self.net_sinks for g in sinks),
+            dtype=np.int64,
+            count=int(sink_offsets[-1]),
+        )
+        self.max_arity = max(
+            (len(pins) for pins in self.gate_inputs), default=0
+        )
+        self.pin_matrix, self.pin_mask = pad_pin_matrix(
+            self.gate_inputs, self.max_arity
+        )
+        # plain-int mirrors of the per-gate arrays: CPython reads a
+        # list element an order of magnitude faster than a NumPy
+        # scalar, and every simulator instance (and each cluster LP)
+        # indexes these per gate — shared here so they are built once
+        # per compiled circuit, not once per simulator construction
+        self.gate_code_list: list[int] = self.gate_code.tolist()
+        self.gate_output_list: list[int] = self.gate_output.tolist()
+
     def is_sequential_gate(self, gid: int) -> bool:
         """True if gate ``gid`` is a state-holding cell."""
         return int(self.gate_code[gid]) >= SEQ_CODE_MIN
@@ -82,6 +136,23 @@ class CompiledCircuit:
         """Evaluate combinational gate ``gid`` against a value array."""
         pins = self.gate_inputs[gid]
         return eval_gate_coded(int(self.gate_code[gid]), [int(values[p]) for p in pins])
+
+
+def pad_pin_matrix(
+    pin_lists: Sequence[Sequence[int]], max_arity: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pad ragged pin lists to a dense ``(n, max_arity)`` index matrix.
+
+    Returns ``(matrix, mask)``: pad cells index 0 and are False in the
+    mask.  Shared by the global circuit and each LP's local pin table.
+    """
+    n = len(pin_lists)
+    matrix = np.zeros((n, max_arity), dtype=np.int64)
+    mask = np.zeros((n, max_arity), dtype=bool)
+    for i, pins in enumerate(pin_lists):
+        matrix[i, : len(pins)] = pins
+        mask[i, : len(pins)] = True
+    return matrix, mask
 
 
 def compile_circuit(netlist: Netlist) -> CompiledCircuit:

@@ -53,14 +53,20 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import SimulationError
-from .compiled import CompiledCircuit
+from .compiled import CompiledCircuit, pad_pin_matrix
 from .events import Message
-from .logic import GATE_CODES, eval_gate_coded
-from .sequential import _dff_next
+from .logic import (
+    BATCH_THRESHOLD,
+    GATE_CODES,
+    VX,
+    eval_gate_coded,
+    eval_gates_batch,
+)
 
 __all__ = ["ClusterLP", "BatchResult", "RollbackResult"]
 
 _DFF = GATE_CODES["dff"]
+_DFFR = GATE_CODES["dffr"]
 
 
 @dataclass
@@ -82,7 +88,10 @@ class RollbackResult:
 
 
 class _Checkpoint:
-    __slots__ = ("vt", "values", "agenda", "heap", "pending_out")
+    """One saved LP state: array copies of the net values and the
+    last-sent-value filter, plus the future-event agenda."""
+
+    __slots__ = ("vt", "values", "agenda", "heap", "pending", "size")
 
     def __init__(
         self,
@@ -90,20 +99,26 @@ class _Checkpoint:
         values: np.ndarray,
         agenda: dict[int, dict[int, int]],
         heap: list[int],
-        pending_out: dict[int, int],
+        pending: np.ndarray,
     ) -> None:
         self.vt = vt
         self.values = values
         self.agenda = agenda
         self.heap = heap
-        self.pending_out = pending_out
+        self.pending = pending
+        # snapshots are immutable once taken, so the size is computed
+        # exactly once and the LP keeps a running total instead of
+        # re-summing every checkpoint on each GVT round
+        self.size = self.nbytes()
 
     def nbytes(self) -> int:
+        # the two arrays report their true buffer sizes; the agenda and
+        # heap are estimated at CPython dict-entry / list-slot cost
         return (
             self.values.nbytes
+            + self.pending.nbytes
             + 32 * sum(len(s) + 1 for s in self.agenda.values())
             + 8 * len(self.heap)
-            + 32 * len(self.pending_out)
         )
 
 
@@ -151,19 +166,63 @@ class ClusterLP:
         self.lazy = lazy
 
         # local net table: every net a local gate reads or drives
+        code_list = circuit.gate_code_list
+        out_list = circuit.gate_output_list
         local_nets: set[int] = set()
         for gid in self.gate_ids:
             local_nets.update(circuit.gate_inputs[gid])
-            local_nets.add(int(circuit.gate_output[gid]))
+            local_nets.add(out_list[gid])
         self._net_list = sorted(local_nets)
         self._net_loc = {n: i for i, n in enumerate(self._net_list)}
 
-        # local sink gates per local net index
+        # per-gate tables indexed by *local gate index* (gate_ids order):
+        # plain-int lists for the scalar path, padded local-loc pin
+        # matrix + code array for the batched kernel
+        gidx = {gid: i for i, gid in enumerate(self.gate_ids)}
+        self._g_code: list[int] = []
+        self._g_pins_loc: list[tuple[int, ...]] = []
+        self._g_pins_glob: list[tuple[int, ...]] = []
+        self._g_out_net: list[int] = []
+        self._g_out_loc: list[int] = []
+        # global clock net per flip-flop (-1 for combinational gates):
+        # every dff variant samples only on clock activity, so a batch
+        # where the clock net did not change skips the state function
+        # outright (its first test would return None anyway)
+        self._g_clk: list[int] = []
+        net_loc = self._net_loc
+        for gid in self.gate_ids:
+            pins = circuit.gate_inputs[gid]
+            out_net = out_list[gid]
+            code = code_list[gid]
+            self._g_code.append(code)
+            self._g_pins_glob.append(pins)
+            self._g_pins_loc.append(tuple(net_loc[p] for p in pins))
+            self._g_out_net.append(out_net)
+            self._g_out_loc.append(net_loc[out_net])
+            self._g_clk.append(pins[1] if code >= _DFF else -1)
+        # batch-kernel tables (code array + padded pin matrix) are
+        # built on first use: many small LPs never see an affected set
+        # reaching BATCH_THRESHOLD, and skipping their construction
+        # keeps per-LP setup cost proportional to what actually runs
+        self._g_codes_arr: np.ndarray | None = None
+        self._pin_mat: np.ndarray | None = None
+        self._pin_msk: np.ndarray | None = None
+
+        # local sink gates (local indices) per local net index
         sinks: list[list[int]] = [[] for _ in self._net_list]
         for gid in self.gate_ids:
             for n in circuit.gate_inputs[gid]:
-                sinks[self._net_loc[n]].append(gid)
+                sinks[self._net_loc[n]].append(gidx[gid])
         self._local_sinks = tuple(tuple(s) for s in sinks)
+
+        # locally driven nets back the last-sent-value filter: an int8
+        # array (checkpointed by copy) seeded with the nets' initial
+        # values, which is exactly the old dict's .get() default
+        self._driven_list = sorted({n for n in self._g_out_net})
+        driven_idx = {n: i for i, n in enumerate(self._driven_list)}
+        self._g_pend: list[int] = [driven_idx[n] for n in self._g_out_net]
+        self._pending = circuit.initial_values[self._driven_list].copy()
+        self._pending_list: list[int] = self._pending.tolist()
 
         #: populated by the engine: driven global net id -> external
         #: reader LP ids
@@ -171,10 +230,18 @@ class ClusterLP:
 
         # dynamic state
         self.values = circuit.initial_values[self._net_list].copy()
+        self._vlist: list[int] = self.values.tolist()
         self._agenda: dict[int, dict[int, int]] = {}
         self._heap: list[int] = []
-        self._pending_out: dict[int, int] = {}
         self.lvt = -1
+        #: cached earliest unprocessed virtual time (None = quiescent);
+        #: every queue/heap mutator refreshes it so the engine scheduler
+        #: reads an attribute instead of re-deriving the minimum
+        self.next_vt: int | None = None
+        # vectorized-kernel counters (aggregated into RunStats)
+        self.kernel_batches = 0
+        self.kernel_batch_gates = 0
+        self.kernel_scalar_gates = 0
 
         # queues and logs
         self._in_msgs: list[Message] = []
@@ -188,6 +255,8 @@ class ClusterLP:
         self.record_changes = record_changes
         self._change_log: list[tuple[int, int, int]] = []
         self._checkpoints: list[_Checkpoint] = []
+        self._ckpt_bytes = 0
+        self._fossil_floor = -1  # oldest kept restore point (vt)
         self._batches_since_ckpt = 0
         self._uid = 0
         #: live sends awaiting confirmation by re-execution, keyed by
@@ -214,6 +283,10 @@ class ClusterLP:
 
     def next_pending_vt(self) -> int | None:
         """Virtual time of the earliest unprocessed work, or None."""
+        return self.next_vt
+
+    def _recompute_next_vt(self) -> None:
+        """Refresh the cached :attr:`next_vt` after a queue mutation."""
         t_int: int | None = self._heap[0] if self._heap else None
         t_in: int | None = (
             self._in_msgs[self._next_idx].recv_time
@@ -221,19 +294,22 @@ class ClusterLP:
             else None
         )
         if t_int is None:
-            return t_in
-        if t_in is None:
-            return t_int
-        return min(t_int, t_in)
+            self.next_vt = t_in
+        elif t_in is None:
+            self.next_vt = t_int
+        else:
+            self.next_vt = min(t_int, t_in)
 
     def checkpoint_bytes(self) -> int:
         """Approximate memory held by saved states (fossil metric)."""
-        return sum(c.nbytes() for c in self._checkpoints)
+        return self._ckpt_bytes
 
     def min_unconfirmed_recv_time(self) -> int | None:
         """Earliest receive time among buffered sends and deferred
         antis — these bound GVT, since their anti-messages may still
         have to be transmitted."""
+        if not self._unconfirmed and not self._deferred_antis:
+            return None  # the common case: checked once per GVT round
         times = [m.recv_time for m in self._unconfirmed.values()]
         times.extend(m.recv_time for m in self._deferred_antis)
         return min(times) if times else None
@@ -278,6 +354,7 @@ class ClusterLP:
         del self._in_keys[idx]
         if idx < self._next_idx:  # pragma: no cover - defensive
             self._next_idx -= 1
+        self._recompute_next_vt()
         return rollback
 
     def _insort(self, msg: Message) -> None:
@@ -290,6 +367,7 @@ class ClusterLP:
                 f"{self.name}: message inserted into processed region "
                 f"without rollback (recv_time={msg.recv_time}, lvt={self.lvt})"
             )
+        self._recompute_next_vt()
 
     def _find_twin(self, anti: Message) -> int | None:
         key = _msg_sort_key(anti)
@@ -315,7 +393,7 @@ class ClusterLP:
         (re-sends confirmed against the unconfirmed buffer are not
         among them — nothing needs to travel for those).
         """
-        T = self.next_pending_vt()
+        T = self.next_vt
         if T is None:
             raise SimulationError(f"{self.name}: execute_batch with no work")
         if T <= self.lvt:  # pragma: no cover - defensive
@@ -335,47 +413,137 @@ class ClusterLP:
             self._next_idx += 1
 
         values = self.values
-        circuit = self.circuit
+        vlist = self._vlist
+        net_list = self._net_list
         old: dict[int, int] = {}  # keyed by *global* net for _dff_next
-        affected: dict[int, None] = {}
+        affected: dict[int, None] = {}  # ordered de-dup of local gate idx
         for loc, value in changes.items():
-            cur = int(values[loc])
+            cur = vlist[loc]
             if cur == value:
                 continue
-            old[self._net_list[loc]] = cur
+            old[net_list[loc]] = cur
             values[loc] = value
+            vlist[loc] = value
             if self.record_changes:
-                self._change_log.append((T, self._net_list[loc], value))
-            for gid in self._local_sinks[loc]:
-                affected[gid] = None
+                self._change_log.append((T, net_list[loc], value))
+            for gi in self._local_sinks[loc]:
+                affected[gi] = None
 
         sends: list[Message] = []
         n_evals = 0
         if old:
-            view = _LPValueView(values, self._net_loc)
-            for gid in affected:
-                n_evals += 1
-                code = int(circuit.gate_code[gid])
-                pins = circuit.gate_inputs[gid]
-                out_net = int(circuit.gate_output[gid])
-                if code < _DFF:
-                    new = eval_gate_coded(
-                        code, [int(values[self._net_loc[p]]) for p in pins]
+            g_code = self._g_code
+            g_out_net = self._g_out_net
+            g_out_loc = self._g_out_loc
+            g_pend = self._g_pend
+            pending = self._pending
+            pending_list = self._pending_list
+            agenda = self._agenda
+            out_dests = self.out_dests
+            T1 = T + 1
+            comb = [gi for gi in affected if g_code[gi] < _DFF]
+            comb_out = None  # iterator over batched outputs, in order
+            if len(comb) >= BATCH_THRESHOLD:
+                if self._pin_mat is None:
+                    self._g_codes_arr = np.array(self._g_code, dtype=np.int8)
+                    max_arity = max(len(p) for p in self._g_pins_loc)
+                    self._pin_mat, self._pin_msk = pad_pin_matrix(
+                        self._g_pins_loc, max_arity
                     )
+                g = np.fromiter(comb, dtype=np.int64, count=len(comb))
+                outs = eval_gates_batch(
+                    self._g_codes_arr[g],
+                    values[self._pin_mat[g]],
+                    self._pin_msk[g],
+                )
+                # comb gates appear in `affected` in exactly the order
+                # `comb` was built, so the outputs stream back through
+                # an iterator — no per-gate dict lookups
+                comb_out = iter(outs.tolist())
+                self.kernel_batches += 1
+                self.kernel_batch_gates += len(comb)
+            else:
+                self.kernel_scalar_gates += len(comb)
+            g_pins_loc = self._g_pins_loc
+            # per-batch clock-edge cache, keyed by global clock net:
+            # 0 = no sampling (idle clock, falling or non-edge),
+            # 1 = known rising edge, 2 = X-involved edge
+            clk_state: dict[int, int] = {}
+            for gi in affected:
+                n_evals += 1
+                code = g_code[gi]
+                out_net = g_out_net[gi]
+                if code < _DFF:
+                    if comb_out is not None:
+                        new = next(comb_out)
+                    else:
+                        new = eval_gate_coded(
+                            code, [vlist[p] for p in g_pins_loc[gi]]
+                        )
                 else:
-                    out_loc = self._net_loc[out_net]
-                    q = _dff_next(code, pins, view, old, int(values[out_loc]))
-                    if q is None:
-                        continue
-                    new = q
-                self._schedule(T + 1, out_net, new)
-                dests = self.out_dests.get(out_net)
-                if dests and new != self._pending_out.get(
-                    out_net, int(circuit.initial_values[out_net])
-                ):
-                    self._pending_out[out_net] = new
+                    c = self._g_clk[gi]
+                    st = clk_state.get(c)
+                    if st is None:
+                        cb = old.get(c)
+                        if cb is None:
+                            st = 0  # clock idle: the FF holds
+                        else:
+                            ca = vlist[g_pins_loc[gi][1]]
+                            if ca == 0 or cb == 1:
+                                st = 0  # falling or non-edge
+                            elif cb == 0 and ca == 1:
+                                st = 1  # known rising edge
+                            else:
+                                st = 2  # X on the clock: unknown edge
+                        clk_state[c] = st
+                    if st == 0:
+                        continue  # held: no output event (counted)
+                    if code == _DFF:
+                        # plain dff inline: known edge samples D's
+                        # pre-batch value, unknown edge yields X
+                        if st == 1:
+                            d = self._g_pins_glob[gi][0]
+                            dv = old.get(d)
+                            new = vlist[g_pins_loc[gi][0]] if dv is None else dv
+                        else:
+                            new = VX
+                    else:
+                        # dffr/dffe inline, mirroring _dff_next: pin 2
+                        # (reset / enable) sampled at its pre-batch value
+                        pg = self._g_pins_glob[gi]
+                        pl = g_pins_loc[gi]
+                        x = old.get(pg[2])
+                        if x is None:
+                            x = vlist[pl[2]]
+                        if code == _DFFR:
+                            if st == 1 and x == 1:
+                                new = 0  # synchronous reset asserted
+                            elif st == 2 or x == VX:
+                                new = VX
+                            else:
+                                dv = old.get(pg[0])
+                                new = vlist[pl[0]] if dv is None else dv
+                        else:  # _DFFE
+                            if x == 0:
+                                continue  # enable off: holds (counted)
+                            if st == 2 or x == VX:
+                                new = VX
+                            else:
+                                dv = old.get(pg[0])
+                                new = vlist[pl[0]] if dv is None else dv
+                slot = agenda.get(T1)
+                if slot is None:
+                    slot = {}
+                    agenda[T1] = slot
+                    heapq.heappush(self._heap, T1)
+                slot[g_out_loc[gi]] = new
+                dests = out_dests.get(out_net)
+                pidx = g_pend[gi]
+                if dests is not None and new != pending_list[pidx]:
+                    pending[pidx] = new
+                    pending_list[pidx] = new
                     for dst in dests:
-                        msg = self._emit(T, T + 1, out_net, new, dst)
+                        msg = self._emit(T, T1, out_net, new, dst)
                         if msg is not None:
                             sends.append(msg)
         self.lvt = T
@@ -384,6 +552,7 @@ class ClusterLP:
         self._batches_since_ckpt += 1
         if self._batches_since_ckpt >= self.checkpoint_interval:
             self._save_checkpoint()
+        self._recompute_next_vt()
         return BatchResult(T, n_evals, sends)
 
     def _emit(
@@ -434,26 +603,18 @@ class ClusterLP:
             self._deferred_antis = []
         return out
 
-    def _schedule(self, time: int, net: int, value: int) -> None:
-        slot = self._agenda.get(time)
-        if slot is None:
-            slot = {}
-            self._agenda[time] = slot
-            heapq.heappush(self._heap, time)
-        slot[self._net_loc[net]] = value
-
     # -- state saving / rollback -------------------------------------------
 
     def _save_checkpoint(self) -> None:
-        self._checkpoints.append(
-            _Checkpoint(
-                self.lvt,
-                self.values.copy(),
-                {t: dict(s) for t, s in self._agenda.items()},
-                list(self._heap),
-                dict(self._pending_out),
-            )
+        cp = _Checkpoint(
+            self.lvt,
+            self.values.copy(),
+            {t: dict(s) for t, s in self._agenda.items()},
+            list(self._heap),
+            self._pending.copy(),
         )
+        self._checkpoints.append(cp)
+        self._ckpt_bytes += cp.size
         self._batches_since_ckpt = 0
 
     def _rollback_to(self, straggler_vt: int) -> RollbackResult:
@@ -471,21 +632,24 @@ class ClusterLP:
             if cand.vt < straggler_vt:
                 cp = cand
                 break
-            self._checkpoints.pop()
+            self._ckpt_bytes -= self._checkpoints.pop().size
         if cp is None:  # pragma: no cover - fossil collection keeps one
             raise SimulationError(
                 f"{self.name}: no checkpoint before t={straggler_vt} "
                 f"(over-aggressive fossil collection)"
             )
         self.values = cp.values.copy()
+        self._vlist = self.values.tolist()
         self._agenda = {t: dict(s) for t, s in cp.agenda.items()}
         self._heap = list(cp.heap)
-        self._pending_out = dict(cp.pending_out)
+        self._pending = cp.pending.copy()
+        self._pending_list = self._pending.tolist()
         self.lvt = cp.vt
         self._batches_since_ckpt = 0
 
         # reset the input cursor to the first message after the restore point
         self._next_idx = bisect_right(self._in_keys, (cp.vt, 1 << 62, 1 << 62))
+        self._recompute_next_vt()
 
         antis: list[Message] = []
         keep: list[Message] = []
@@ -516,8 +680,16 @@ class ClusterLP:
             if cp.vt < gvt:
                 keep_from = i
         if keep_from > 0:
+            for cp in self._checkpoints[:keep_from]:
+                self._ckpt_bytes -= cp.size
             del self._checkpoints[:keep_from]
         floor = self._checkpoints[0].vt
+        if floor == self._fossil_floor:
+            # unchanged restore point: every surviving log entry and
+            # processed message already cleared this floor last round,
+            # and entries added since are strictly above it
+            return
+        self._fossil_floor = floor
         # drop processed input messages at or before the kept restore point
         cut = bisect_right(self._in_keys, (floor, 1 << 62, 1 << 62))
         cut = min(cut, self._next_idx)
@@ -527,18 +699,19 @@ class ClusterLP:
             self._next_idx -= cut
         self._out_log = [m for m in self._out_log if m.send_time > floor]
         self._batch_log = [b for b in self._batch_log if b[0] > floor]
+        self._recompute_next_vt()
 
 
 class _LPValueView:
     """Adapter letting :func:`_dff_next` read LP-local values through
     global net ids (it indexes ``values[net]`` like the sequential
-    simulator's flat array)."""
+    simulator's flat list mirror)."""
 
     __slots__ = ("_values", "_loc")
 
-    def __init__(self, values: np.ndarray, loc: dict[int, int]) -> None:
+    def __init__(self, values: list[int], loc: dict[int, int]) -> None:
         self._values = values
         self._loc = loc
 
     def __getitem__(self, net: int) -> int:
-        return int(self._values[self._loc[net]])
+        return self._values[self._loc[net]]

@@ -33,7 +33,13 @@ import numpy as np
 from ..errors import SimulationError
 from .compiled import CompiledCircuit
 from .events import InputEvent
-from .logic import GATE_CODES, VX, eval_gate_coded
+from .logic import (
+    BATCH_THRESHOLD,
+    GATE_CODES,
+    VX,
+    eval_gate_coded,
+    eval_gates_batch,
+)
 
 __all__ = ["SequentialSimulator", "SeqStats", "simulate_sequential"]
 
@@ -56,6 +62,12 @@ class SeqStats:
     net_events: int = 0
     end_time: int = 0
     activity: np.ndarray | None = None
+    #: affected-gate batches routed through the vectorized kernel
+    kernel_batches: int = 0
+    #: combinational gate evaluations done by the vectorized kernel
+    kernel_batch_gates: int = 0
+    #: combinational gate evaluations done on the scalar fast path
+    kernel_scalar_gates: int = 0
 
 
 class SequentialSimulator:
@@ -78,6 +90,12 @@ class SequentialSimulator:
     ):
         self.circuit = circuit
         self.values = circuit.initial_values.copy()
+        # plain-int mirrors beside the authoritative NumPy arrays: the
+        # scalar fast path reads these (NumPy scalar indexing is ~10x a
+        # Python list read); refreshed from self.values at run() entry
+        self._values_list: list[int] = self.values.tolist()
+        self._code_list: list[int] = circuit.gate_code_list
+        self._out_list: list[int] = circuit.gate_output_list
         self._agenda: dict[int, dict[int, int]] = {}
         self._heap: list[int] = []
         self.now = -1
@@ -124,6 +142,9 @@ class SequentialSimulator:
         :meth:`add_inputs`.
         """
         values = self.values
+        vlist = self._values_list = self.values.tolist()
+        code_list = self._code_list
+        out_list = self._out_list
         circuit = self.circuit
         stats = self.stats
         activity = stats.activity
@@ -137,11 +158,12 @@ class SequentialSimulator:
             old: dict[int, int] = {}
             affected: dict[int, None] = {}  # ordered de-dup of gate ids
             for net, value in changes.items():
-                cur = int(values[net])
+                cur = vlist[net]
                 if cur == value:
                     continue
                 old[net] = cur
                 values[net] = value
+                vlist[net] = value
                 stats.net_events += 1
                 for gid in circuit.net_sinks[net]:
                     affected[gid] = None
@@ -149,24 +171,78 @@ class SequentialSimulator:
                 continue
             if self.record_changes:
                 for net in old:
-                    self.change_log.append((t, net, int(values[net])))
+                    self.change_log.append((t, net, vlist[net]))
             stats.end_time = t
+            comb = [g for g in affected if code_list[g] < _DFF]
+            comb_out: dict[int, int] | None = None
+            if len(comb) >= BATCH_THRESHOLD:
+                g = np.fromiter(comb, dtype=np.int64, count=len(comb))
+                outs = eval_gates_batch(
+                    circuit.gate_code[g],
+                    values[circuit.pin_matrix[g]],
+                    circuit.pin_mask[g],
+                )
+                # comb gates appear in `affected` in exactly the order
+                # `comb` was built, so the outputs stream back through
+                # an iterator — no per-gate dict lookups
+                comb_out = iter(outs.tolist())
+                stats.kernel_batches += 1
+                stats.kernel_batch_gates += len(comb)
+            else:
+                stats.kernel_scalar_gates += len(comb)
+            # per-batch clock-edge cache (see ClusterLP.execute_batch):
+            # 0 = no sampling, 1 = known rising edge, 2 = X-involved
+            clk_state: dict[int, int] = {}
             for gid in affected:
                 stats.gate_evals += 1
                 if activity is not None:
                     activity[gid] += 1
-                code = int(circuit.gate_code[gid])
-                pins = circuit.gate_inputs[gid]
-                out_net = int(circuit.gate_output[gid])
+                code = code_list[gid]
+                out_net = out_list[gid]
                 if code < _DFF:
-                    new = eval_gate_coded(code, [int(values[p]) for p in pins])
+                    if comb_out is not None:
+                        new = next(comb_out)
+                    else:
+                        new = eval_gate_coded(
+                            code, [vlist[p] for p in circuit.gate_inputs[gid]]
+                        )
                     self.schedule(t + 1, out_net, new)
                 else:
-                    q = _dff_next(
-                        code, pins, values, old, int(values[out_net])
-                    )
-                    if q is not None:
-                        self.schedule(t + 1, out_net, q)
+                    # every dff variant samples only on clock activity
+                    # (pin 1): an idle, falling or non-edge clock means
+                    # the FF holds, skipping the state function outright
+                    pins = circuit.gate_inputs[gid]
+                    c = pins[1]
+                    st = clk_state.get(c)
+                    if st is None:
+                        cb = old.get(c)
+                        if cb is None:
+                            st = 0
+                        else:
+                            ca = vlist[c]
+                            if ca == 0 or cb == 1:
+                                st = 0
+                            elif cb == 0 and ca == 1:
+                                st = 1  # known rising edge
+                            else:
+                                st = 2  # X on the clock: unknown edge
+                        clk_state[c] = st
+                    if st == 0:
+                        continue
+                    if code == _DFF:
+                        # plain dff inline: known edge samples D's
+                        # pre-batch value, unknown edge yields X
+                        if st == 1:
+                            d = pins[0]
+                            dv = old.get(d)
+                            new = vlist[d] if dv is None else dv
+                        else:
+                            new = VX
+                        self.schedule(t + 1, out_net, new)
+                    else:
+                        q = _dff_next(code, pins, vlist, old, vlist[out_net])
+                        if q is not None:
+                            self.schedule(t + 1, out_net, q)
             for observer in self.observers:
                 observer(t)
         return stats
@@ -185,7 +261,7 @@ class SequentialSimulator:
 def _dff_next(
     code: int,
     pins: tuple[int, ...],
-    values: np.ndarray,
+    values,
     old: Mapping[int, int],
     current_q: int,
 ) -> int | None:
@@ -194,6 +270,8 @@ def _dff_next(
 
     ``old`` carries pre-update values for nets that changed now; pins
     other than the clock are sampled from it (setup-time semantics).
+    ``values`` is anything indexable by global net id (NumPy array,
+    list mirror, or an LP's value view).
     """
 
     def before(net: int) -> int:

@@ -34,19 +34,37 @@ from .sequential import SequentialSimulator
 
 __all__ = ["TimeWarpEngine"]
 
+#: average hosted LPs per machine above which the scheduler keeps lazy
+#: (next_vt, lid) ready-heaps instead of scanning every hosted LP per
+#: decision.  Both schedulers select the identical (vt, lid) minimum —
+#: the scan wins on small fleets (no heap churn), the heaps win once a
+#: linear pass per pick costs more than validating a few stale entries.
+SCAN_SCHED_MAX_LPS = 48
+
+#: sentinel marking a machine's cached next-action time as stale
+_STALE = object()
+
 
 class _Machine:
-    __slots__ = ("mid", "wall", "lp_ids", "ready", "arrivals", "stats")
+    __slots__ = (
+        "mid", "wall", "lp_ids", "ready", "arrivals", "stats", "action_cache"
+    )
 
     def __init__(self, mid: int) -> None:
         self.mid = mid
         self.wall = 0.0
         self.lp_ids: list[int] = []
-        #: lazy heap of (next_vt, lid); stale entries validated on pop
+        #: lazy heap of (next_vt, lid); used when the machine hosts
+        #: many LPs (see SCAN_SCHED_MAX_LPS) and by heap-only engine
+        #: variants (repro.bench.sim_speed)
         self.ready: list[tuple[int, int]] = []
         #: heap of (arrival_wall, serial, Message)
         self.arrivals: list[tuple[float, int, Message]] = []
         self.stats = MachineStats()
+        #: memoized _next_action_time result; every event that can
+        #: change it (own execution, arrival push, GVT round) stamps
+        #: the sentinel so only touched machines are re-derived
+        self.action_cache: object = _STALE
 
 
 class TimeWarpEngine:
@@ -84,6 +102,10 @@ class TimeWarpEngine:
         never changes simulation results.
     """
 
+    #: LP implementation instantiated per cluster; benchmark variants
+    #: (repro.bench.sim_speed) substitute the pre-optimization LP here
+    lp_class = ClusterLP
+
     def __init__(
         self,
         circuit: CompiledCircuit,
@@ -118,7 +140,7 @@ class TimeWarpEngine:
             )
 
         self.lps = [
-            ClusterLP(
+            self.lp_class(
                 lid,
                 circuit,
                 gate_ids,
@@ -154,6 +176,10 @@ class TimeWarpEngine:
         self._migration_cooldown = 0
         # conservative mode: exact global safe-time tracking
         self._conservative = config.conservative
+        # scheduler flavor: linear next_vt scans for small LP fleets,
+        # lazy ready-heaps for large ones (identical decisions either
+        # way — see SCAN_SCHED_MAX_LPS)
+        self._heap_sched = len(self.lps) > SCAN_SCHED_MAX_LPS * spec.num_machines
         #: lazy min-heap of (next_vt, lid) across every LP
         self._global_ready: list[tuple[int, int]] = []
         #: lazy min-heap of in-flight message receive times
@@ -261,6 +287,7 @@ class TimeWarpEngine:
             lid = self._pop_ready_lp(machine)
             if lid is not None:
                 self._execute_on(machine, lid)
+            machine.action_cache = _STALE  # wall and/or LP state moved
             steps += 1
             if steps % self.config.gvt_interval == 0:
                 self._gvt_round()
@@ -270,14 +297,27 @@ class TimeWarpEngine:
             m.stats.wall_time = m.wall
             stats.machines.append(m.stats)
         stats.committed_events = stats.processed_events - stats.rolled_back_events
+        for lp in self.lps:
+            # getattr defaults keep heap-era LP variants (bench.sim_speed)
+            # runnable through the same engine loop
+            stats.kernel_batches += getattr(lp, "kernel_batches", 0)
+            stats.kernel_batch_gates += getattr(lp, "kernel_batch_gates", 0)
+            stats.kernel_scalar_gates += getattr(lp, "kernel_scalar_gates", 0)
         return stats
 
     # -- machine selection ----------------------------------------------------
 
     def _pick_machine(self) -> tuple[_Machine, float] | None:
+        # conservative mode derives eligibility from *global* state, so
+        # one machine's progress can change every other machine's
+        # answer — the memo is only sound under optimistic execution
+        use_cache = not self._conservative
         best: tuple[float, int] | None = None
         for m in self.machines:
-            t = self._next_action_time(m)
+            t = m.action_cache if use_cache else _STALE
+            if t is _STALE:
+                t = self._next_action_time(m)
+                m.action_cache = t
             if t is None:
                 continue
             cand = (t, m.mid)
@@ -327,17 +367,24 @@ class TimeWarpEngine:
         return bound
 
     def _global_ready_min(self) -> int | None:
-        heap = self._global_ready
-        while heap:
-            vt, lid = heap[0]
-            actual = self.lps[lid].next_pending_vt()
-            if actual is None or actual != vt:
-                heapq.heappop(heap)
-                if actual is not None:
-                    heapq.heappush(heap, (actual, lid))
-                continue
-            return vt
-        return None
+        if self._heap_sched:
+            heap = self._global_ready
+            while heap:
+                vt, lid = heap[0]
+                actual = self.lps[lid].next_vt
+                if actual is None or actual != vt:
+                    heapq.heappop(heap)
+                    if actual is not None:
+                        heapq.heappush(heap, (actual, lid))
+                    continue
+                return vt
+            return None
+        best: int | None = None
+        for lp in self.lps:
+            vt = lp.next_vt
+            if vt is not None and (best is None or vt < best):
+                best = vt
+        return best
 
     def _inflight_min(self) -> int | None:
         heap = self._inflight_recv
@@ -354,48 +401,88 @@ class TimeWarpEngine:
         return None
 
     def _has_ready_work(self, m: _Machine) -> bool:
-        while m.ready:
-            vt, lid = m.ready[0]
-            if self.lp_machine[lid] != m.mid:
-                heapq.heappop(m.ready)  # LP migrated away
-                continue
-            actual = self.lps[lid].next_pending_vt()
-            if actual is None or actual != vt:
-                heapq.heappop(m.ready)
-                if actual is not None:
-                    heapq.heappush(m.ready, (actual, lid))
-                continue
-            # valid entry; heap order means no earlier one exists
-            return self._eligible(vt)
-        return False
+        if self._heap_sched:
+            ready = m.ready
+            while ready:
+                vt, lid = ready[0]
+                if self.lp_machine[lid] != m.mid:
+                    heapq.heappop(ready)  # migrated away: stale entry
+                    continue
+                actual = self.lps[lid].next_vt
+                if actual is None or actual != vt:
+                    heapq.heappop(ready)
+                    if actual is not None:
+                        heapq.heappush(ready, (actual, lid))
+                    continue
+                return self._eligible(vt)
+            return False
+        # linear argmin over the machine's LPs' cached next_vt — the
+        # (vt, lid) minimum matches what the lazy ready-heap pops,
+        # without the churn of validating stale heap entries
+        lps = self.lps
+        best: int | None = None
+        for lid in m.lp_ids:
+            vt = lps[lid].next_vt
+            if vt is not None and (best is None or vt < best):
+                best = vt
+        if best is None:
+            return False
+        return self._eligible(best)
 
     def _refresh_ready(self, m: _Machine) -> None:
+        # scan scheduling derives readiness from the LPs directly; the
+        # heap scheduler (re)seeds the machine's ready-heap here
+        if not self._heap_sched:
+            return None
+        conservative = self._conservative
         for lid in m.lp_ids:
-            vt = self.lps[lid].next_pending_vt()
+            vt = self.lps[lid].next_vt
             if vt is not None:
                 heapq.heappush(m.ready, (vt, lid))
-                if self._conservative:
+                if conservative:
                     heapq.heappush(self._global_ready, (vt, lid))
+        return None
 
     def _pop_ready_lp(self, m: _Machine) -> int | None:
-        while m.ready:
-            vt, lid = m.ready[0]
-            if self.lp_machine[lid] != m.mid:
-                heapq.heappop(m.ready)  # LP migrated away
+        if self._heap_sched:
+            ready = m.ready
+            while ready:
+                vt, lid = ready[0]
+                if self.lp_machine[lid] != m.mid:
+                    heapq.heappop(ready)
+                    continue
+                actual = self.lps[lid].next_vt
+                if actual is None:
+                    heapq.heappop(ready)
+                    continue
+                if actual != vt:
+                    heapq.heappop(ready)
+                    heapq.heappush(ready, (actual, lid))
+                    continue
+                if not self._eligible(vt):
+                    return None  # earliest valid batch beyond the window
+                heapq.heappop(ready)
+                return lid
+            return None
+        lps = self.lps
+        best_vt: int | None = None
+        best_lid = -1
+        for lid in m.lp_ids:
+            vt = lps[lid].next_vt
+            if vt is None:
                 continue
-            actual = self.lps[lid].next_pending_vt()
-            if actual is None:
-                heapq.heappop(m.ready)
-                continue
-            if actual != vt:
-                heapq.heappop(m.ready)
-                heapq.heappush(m.ready, (actual, lid))
-                continue
-            if not self._eligible(vt):
-                return None  # earliest valid batch is beyond the window
-            heapq.heappop(m.ready)
-            return lid
-        return None
+            if (
+                best_vt is None
+                or vt < best_vt
+                or (vt == best_vt and lid < best_lid)
+            ):
+                best_vt = vt
+                best_lid = lid
+        if best_vt is None:
+            return None
+        if not self._eligible(best_vt):
+            return None  # earliest valid batch is beyond the window
+        return best_lid
 
     # -- delivery & execution ---------------------------------------------------
 
@@ -499,6 +586,7 @@ class TimeWarpEngine:
         back the LP whose batch produced it.
         """
         dst_machine = self.machines[self.lp_machine[msg.dst_lp]]
+        dst_machine.action_cache = _STALE  # a new arrival is pending
         self._arrival_serial += 1
         if self._conservative:
             heapq.heappush(self._inflight_recv, msg.recv_time)
@@ -543,12 +631,17 @@ class TimeWarpEngine:
         return self.spec.msg_cpu_overhead
 
     def _mark_ready(self, lp: ClusterLP) -> None:
-        vt = lp.next_pending_vt()
+        # scan scheduling reads readiness straight off lp.next_vt; the
+        # heap scheduler records the LP's (possibly new) next time
+        if not self._heap_sched:
+            return None
+        vt = lp.next_vt
         if vt is not None:
             m = self.machines[self.lp_machine[lp.lid]]
             heapq.heappush(m.ready, (vt, lp.lid))
             if self._conservative:
                 heapq.heappush(self._global_ready, (vt, lp.lid))
+        return None
 
     # -- GVT ----------------------------------------------------------------------
 
@@ -637,6 +730,11 @@ class TimeWarpEngine:
             self._machine_busy_prev = [
                 m.stats.busy_time for m in self.machines
             ]
+        # the round may have flushed sends, migrated LPs, or moved the
+        # GVT estimate (which gates the optimism window): every cached
+        # next-action time is suspect now
+        for m in self.machines:
+            m.action_cache = _STALE
 
     # -- adaptive extensions -------------------------------------------------
 

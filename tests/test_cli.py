@@ -134,6 +134,16 @@ class TestSimulateCommands:
         assert code == 0
         assert "best: k=" in text
 
+    def test_search_presim_workers_identical_output(self, vfile):
+        # the parallel sweep is a wall-time knob only: the chosen best
+        # (k, b) and every per-point stat line must match the serial run
+        base = ("search", str(vfile), "--max-k", "2", "--vectors", "8")
+        code_s, text_s = run(*base)
+        code_p, text_p = run(*base, "--presim-workers", "2")
+        assert code_s == code_p == 0
+        assert "best: k=" in text_s
+        assert text_p == text_s
+
 
 class TestObsCommands:
     @pytest.fixture()

@@ -2,15 +2,18 @@
 
 import itertools
 
+import numpy as np
 import pytest
 
 from repro.sim.logic import (
     GATE_CODES,
+    SEQ_CODE_MIN,
     V0,
     V1,
     VX,
     eval_gate,
     eval_gate_coded,
+    eval_gates_batch,
     invert,
     value_name,
 )
@@ -87,3 +90,54 @@ class TestTruthTables:
     def test_codes_dense(self):
         codes = sorted(GATE_CODES.values())
         assert codes == list(range(len(codes)))
+
+
+def _exhaustive_comb_rows():
+    """Every combinational gate code × every input combination over
+    {0, 1, X} at arities 1 (unary) / 2 / 3 (folds) — the full input
+    space of the scalar evaluator."""
+    rows: list[tuple[int, tuple[int, ...]]] = []
+    for gtype in ("and", "or", "nand", "nor", "xor", "xnor"):
+        for arity in (2, 3):
+            for vals in itertools.product((V0, V1, VX), repeat=arity):
+                rows.append((GATE_CODES[gtype], vals))
+    for gtype in ("buf", "not"):
+        for v in (V0, V1, VX):
+            rows.append((GATE_CODES[gtype], (v,)))
+    return rows
+
+
+class TestBatchKernel:
+    """eval_gates_batch is bit-identical to eval_gate_coded per row."""
+
+    @pytest.mark.parametrize("pad", [V0, V1, VX])
+    def test_batch_matches_scalar_exhaustive(self, pad):
+        rows = _exhaustive_comb_rows()
+        max_arity = max(len(pins) for _, pins in rows)
+        n = len(rows)
+        codes = np.array([c for c, _ in rows], dtype=np.int8)
+        # pad cells deliberately hold a garbage value (parametrized over
+        # all three) — the mask, not the pad contents, must decide
+        pin_values = np.full((n, max_arity), pad, dtype=np.int8)
+        pin_mask = np.zeros((n, max_arity), dtype=bool)
+        for i, (_, pins) in enumerate(rows):
+            pin_values[i, : len(pins)] = pins
+            pin_mask[i, : len(pins)] = True
+        outs = eval_gates_batch(codes, pin_values, pin_mask)
+        assert outs.dtype == np.int8
+        for i, (code, pins) in enumerate(rows):
+            expect = eval_gate_coded(code, list(pins))
+            assert outs[i] == expect, (code, pins, pad)
+
+    def test_mixed_code_single_rows(self):
+        # one-row batches (the degenerate shape) agree too
+        for code, pins in _exhaustive_comb_rows():
+            vals = np.array([pins], dtype=np.int8)
+            mask = np.ones((1, len(pins)), dtype=bool)
+            out = eval_gates_batch(np.array([code], dtype=np.int8), vals, mask)
+            assert out[0] == eval_gate_coded(code, list(pins))
+
+    def test_all_comb_codes_covered(self):
+        # the exhaustive sweep really visits every combinational code
+        covered = {c for c, _ in _exhaustive_comb_rows()}
+        assert covered == {c for c in GATE_CODES.values() if c < SEQ_CODE_MIN}

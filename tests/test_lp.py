@@ -189,6 +189,67 @@ class TestFossil:
         assert len(lp0._in_msgs) < n_before
 
 
+class TestCheckpointAccounting:
+    """The cached per-snapshot ``size`` and the LP's running
+    ``checkpoint_bytes()`` total must pin exactly against the actual
+    array buffers (``ndarray.nbytes``) at every lifecycle stage."""
+
+    @staticmethod
+    def _expected(cp):
+        return (
+            cp.values.nbytes
+            + cp.pending.nbytes
+            + 32 * sum(len(s) + 1 for s in cp.agenda.values())
+            + 8 * len(cp.heap)
+        )
+
+    def _assert_consistent(self, lp):
+        for cp in lp._checkpoints:
+            assert cp.size == cp.nbytes() == self._expected(cp)
+        assert lp.checkpoint_bytes() == sum(
+            cp.size for cp in lp._checkpoints
+        )
+
+    def test_size_pins_against_ndarray_nbytes(self):
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        self._assert_consistent(lp0)  # the construction-time snapshot
+        for i, t in enumerate(range(0, 20, 4)):
+            lp0.insert_positive(env_msg(a, (i % 2), t, i))
+        while lp0.next_pending_vt() is not None:
+            lp0.execute_batch()
+        assert len(lp0._checkpoints) > 1
+        self._assert_consistent(lp0)
+        # array-backed snapshots: the value copy dominates and is
+        # accounted at its true buffer size
+        cp = lp0._checkpoints[-1]
+        assert cp.values.nbytes == lp0.values.nbytes
+        assert cp.size >= cp.values.nbytes + cp.pending.nbytes
+
+    def test_running_total_tracks_rollback_and_fossil(self):
+        nl, cc, lp0, lp1, a, m, y = two_lp_fixture()
+        for i, t in enumerate(range(0, 40, 4)):
+            lp0.insert_positive(env_msg(a, (i % 2), t, i))
+        while lp0.next_pending_vt() is not None:
+            lp0.execute_batch()
+        self._assert_consistent(lp0)
+        # rollback pops snapshots: the total must shrink in lockstep
+        n_before = len(lp0._checkpoints)
+        lp0.insert_positive(env_msg(a, 1, 17, 99))
+        assert len(lp0._checkpoints) < n_before
+        self._assert_consistent(lp0)
+        while lp0.next_pending_vt() is not None:
+            lp0.execute_batch()
+        self._assert_consistent(lp0)
+        # fossil collection deletes the pre-GVT prefix
+        lp0.fossil_collect(gvt=30)
+        self._assert_consistent(lp0)
+        # a repeated round at the same floor is a no-op, not a drift
+        total = lp0.checkpoint_bytes()
+        lp0.fossil_collect(gvt=30)
+        assert lp0.checkpoint_bytes() == total
+        self._assert_consistent(lp0)
+
+
 class TestConstruction:
     def test_gate_clusters_and_nets(self):
         nl, cc, lp0, lp1, a, m, y = two_lp_fixture()

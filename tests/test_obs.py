@@ -219,6 +219,13 @@ class TestRegistry:
         assert trace_fields("rollback") >= {
             "partition", "src_partition", "straggler_uid"}
 
+    def test_kernel_counters_registered(self):
+        # the vectorized gate-eval kernel's counters are first-class
+        # registered names (enforced like every RunStats counter below)
+        for name in ("sim.kernel.batches", "sim.kernel.batch_gates",
+                     "sim.kernel.scalar_gates"):
+            assert is_registered(name)
+
 
 # ---------------------------------------------------------------------------
 # End to end: instrumented runs
@@ -275,6 +282,24 @@ class TestInstrumentedRun:
         assert c["tw.run.calls"] == 1
         assert c["tw.committed_events"] == report.committed_events
         assert c["seq.gate_evals"] == report.seq_stats.gate_evals
+
+    def test_run_stats_counters_all_registered(
+        self, viterbi_test, viterbi_test_circuit, stimulus
+    ):
+        # every name RunStats flattens to — including the sim.kernel.*
+        # counters the vectorized kernel added — must be registered,
+        # and the kernel totals must reconcile with the report
+        _, report = _run(viterbi_test, viterbi_test_circuit, stimulus)
+        counters = report.run_stats.to_counters()
+        unregistered = [n for n in counters if not is_registered(n)]
+        assert unregistered == []
+        assert counters["sim.kernel.batches"] == \
+            report.run_stats.kernel_batches
+        assert counters["sim.kernel.batch_gates"] == \
+            report.run_stats.kernel_batch_gates
+        assert counters["sim.kernel.scalar_gates"] == \
+            report.run_stats.kernel_scalar_gates
+        assert counters["sim.kernel.scalar_gates"] > 0
 
     def test_identical_seeds_identical_dumps(
         self, viterbi_test, viterbi_test_circuit, stimulus

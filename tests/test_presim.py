@@ -22,6 +22,40 @@ def study(viterbi_test):
     )
 
 
+def _point_row(p):
+    """The full structural outcome of one evaluated (k, b) point."""
+    return (p.k, p.b, p.cut_size, p.balanced, repr(p.sim_time),
+            repr(p.speedup), p.messages, p.rollbacks,
+            p.report.committed_events, p.report.processed_events,
+            p.report.anti_messages, p.report.rolled_back_events)
+
+
+class TestParallelSweep:
+    """Worker count is a wall-time knob only: the fan-out over a
+    process pool must reproduce the serial sweep bit for bit."""
+
+    def test_brute_force_workers_identical(self, viterbi_test):
+        events = random_vectors(viterbi_test, 8, seed=2)
+        kw = dict(ks=KS, bs=BS, seed=1,
+                  config=TimeWarpConfig(gvt_interval=64))
+        serial = brute_force_presim(viterbi_test, events, **kw)
+        parallel = brute_force_presim(viterbi_test, events, workers=2, **kw)
+        assert [_point_row(p) for p in serial.points] == \
+            [_point_row(p) for p in parallel.points]
+        assert _point_row(serial.best) == _point_row(parallel.best)
+        assert serial.runs == parallel.runs
+
+    def test_heuristic_workers_identical(self, viterbi_test):
+        events = random_vectors(viterbi_test, 8, seed=2)
+        kw = dict(max_k=3, seed=1, config=TimeWarpConfig(gvt_interval=64))
+        serial = heuristic_presim(viterbi_test, events, **kw)
+        parallel = heuristic_presim(viterbi_test, events, workers=2, **kw)
+        assert [_point_row(p) for p in serial.points] == \
+            [_point_row(p) for p in parallel.points]
+        assert _point_row(serial.best) == _point_row(parallel.best)
+        assert serial.runs == parallel.runs
+
+
 class TestBruteForce:
     def test_grid_covered(self, study):
         combos = {(p.k, p.b) for p in study.points}

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Profile the simulation substrate: one presim point + one full run.
+
+Runs cProfile over the two workloads the selection loop is made of —
+
+* **presim point**: one short Time Warp run on one (k, b) candidate
+  partition, the unit of work ``brute_force_presim`` repeats per grid
+  cell (§3.4 / Figure 3 of the paper); and
+* **full run**: the same partition driven with a 10x-longer stimulus,
+  the shape of the final Table 5 runs —
+
+and prints the top cumulative functions of each (default 20).  This is
+the before/after evidence harness for kernel work: run it on two
+checkouts and diff where the time goes (docs/performance.md,
+"Simulation kernel", records the numbers this PR moved).
+
+Examples::
+
+    PYTHONPATH=src python tools/profile_sim.py
+    PYTHONPATH=src python tools/profile_sim.py --circuit viterbi-test \\
+        --vectors 20 --top 30
+    PYTHONPATH=src python tools/profile_sim.py --skip-full
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.circuits import circuit_source, random_vectors  # noqa: E402
+from repro.core.multiway import design_driven_partition  # noqa: E402
+from repro.core.presim import evaluate_partition  # noqa: E402
+from repro.sim.cluster import ClusterSpec, TimeWarpConfig  # noqa: E402
+from repro.sim.compiled import compile_circuit  # noqa: E402
+from repro.verilog import compile_verilog  # noqa: E402
+
+
+def _profile(label: str, func, top: int, sort: str) -> None:
+    print(f"\n=== {label} ===")
+    prof = cProfile.Profile()
+    result = prof.runcall(func)
+    stats = pstats.Stats(prof, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    if result is not None:
+        print(f"[{label}] committed_events={result.committed_events} "
+              f"rollbacks={result.rollbacks} "
+              f"speedup={result.speedup:.3f}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cProfile one presim point and one full run")
+    parser.add_argument("--circuit", default="viterbi-single",
+                        help="named circuit generator (default: %(default)s)")
+    parser.add_argument("--k", type=int, default=4,
+                        help="machine count for the candidate partition")
+    parser.add_argument("--b", type=float, default=12.5,
+                        help="balance factor for the candidate partition")
+    parser.add_argument("--vectors", type=int, default=60,
+                        help="presim stimulus vectors (full run uses 10x)")
+    parser.add_argument("--full-vectors", type=int, default=None,
+                        help="override the full-run vector count")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="stimulus and partitioner seed")
+    parser.add_argument("--top", type=int, default=20,
+                        help="functions to print per profile")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "calls"),
+                        help="pstats sort order")
+    parser.add_argument("--skip-presim", action="store_true",
+                        help="profile only the full run")
+    parser.add_argument("--skip-full", action="store_true",
+                        help="profile only the presim point")
+    args = parser.parse_args(argv)
+
+    netlist = compile_verilog(circuit_source(args.circuit))
+    circuit = compile_circuit(netlist)
+    partition = design_driven_partition(netlist, args.k, args.b,
+                                        seed=args.seed)
+    spec = ClusterSpec(num_machines=args.k)
+    config = TimeWarpConfig()
+    print(f"circuit={args.circuit} gates={circuit.num_gates} "
+          f"k={args.k} b={args.b} cut={partition.cut_size}")
+
+    if not args.skip_presim:
+        events = random_vectors(netlist, args.vectors, seed=args.seed)
+        _profile(
+            f"presim point ({args.vectors} vectors)",
+            lambda: evaluate_partition(circuit, partition, events, spec,
+                                       config).report,
+            args.top, args.sort,
+        )
+    if not args.skip_full:
+        full = (args.full_vectors if args.full_vectors is not None
+                else args.vectors * 10)
+        events = random_vectors(netlist, full, seed=args.seed)
+        _profile(
+            f"full run ({full} vectors)",
+            lambda: evaluate_partition(circuit, partition, events, spec,
+                                       config).report,
+            args.top, args.sort,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
