@@ -13,6 +13,12 @@ the design-driven algorithm is competitive everywhere, wins in
 aggregate at the largest k, always meets Formula 1 (the baseline's
 recursive UBfactors can compound past it), and partitions a
 40-vertex hypergraph instead of a 4000-vertex one.
+
+This baseline study is frozen at the hMetis-style recursive-bisection
+implementation (``repro.baselines.multilevel``) so the Table 2 numbers
+stay comparable across revisions; the *production* multilevel engine —
+direct k-way on the vectorized core — is measured separately at 100k
+vertices in ``bench_multilevel`` (docs/multilevel.md).
 """
 
 from _shared import CFG, design_rows, emit, multilevel_rows, table_rows

@@ -58,19 +58,26 @@ def _evaluate_cell(
     seed: int,
     pairing: str,
     refine_workers: int = 1,
+    algorithm: str = "design",
 ) -> GridCell:
     """Worker: compile, partition, pre-simulate one grid cell."""
     from ..circuits import random_vectors
-    from ..core import design_driven_partition
+    from ..core import design_driven_partition, multilevel_flat_partition
     from ..sim import ClusterSpec, TimeWarpConfig, compile_circuit, run_partitioned
     from ..verilog import compile_verilog
 
     netlist = compile_verilog(source, top=top)
     circuit = compile_circuit(netlist)
     events = random_vectors(netlist, n_vectors, seed=seed)
-    part = design_driven_partition(
-        netlist, k=k, b=b, seed=seed, pairing=pairing, workers=refine_workers
-    )
+    if algorithm == "multilevel":
+        part = multilevel_flat_partition(
+            netlist, k, b, seed=seed, workers=refine_workers
+        )
+    else:
+        part = design_driven_partition(
+            netlist, k=k, b=b, seed=seed, pairing=pairing,
+            workers=refine_workers,
+        )
     clusters, machines = part.to_simulation()
     report = run_partitioned(
         circuit, clusters, machines, events,
@@ -98,6 +105,7 @@ def run_presim_grid(
     top: str | None = None,
     workers: int | None = None,
     refine_workers: int = 1,
+    algorithm: str = "design",
 ) -> list[GridCell]:
     """Run the (k, b) pre-simulation grid, optionally across processes.
 
@@ -116,11 +124,17 @@ def run_presim_grid(
     parallel grid the cells are daemonic workers, so nested refinement
     pools automatically degrade to serial (see ``docs/parallelism.md``);
     the default of 1 keeps the serial grid's cells serial too.
+
+    ``algorithm`` selects each cell's partition backend — ``"design"``
+    (default) or ``"multilevel"``
+    (:func:`~repro.core.multilevel.multilevel_flat_partition`, see
+    ``docs/multilevel.md``).
     """
     resolved = resolve_workers(workers)
     cells = [(k, b) for k in ks for b in bs]
     args = [
-        (source, top, k, b, n_vectors, seed, pairing, refine_workers)
+        (source, top, k, b, n_vectors, seed, pairing, refine_workers,
+         algorithm)
         for k, b in cells
     ]
     if resolved <= 1:

@@ -62,10 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("random", "exhaustive", "cut", "gain"))
     pa.add_argument("--refine-workers", type=int, default=None,
                     metavar="N",
-                    help="refinement worker processes (design algorithm; "
-                         "default: REPRO_WORKERS env or serial); any value "
-                         "yields bit-identical partitions — see "
-                         "docs/parallelism.md")
+                    help="refinement worker processes (design and "
+                         "multilevel algorithms; default: REPRO_WORKERS env "
+                         "or serial); any value yields bit-identical "
+                         "partitions — see docs/parallelism.md")
     pa.add_argument("--assignment-out", type=Path, default=None,
                     help="write '<gate name> <partition>' lines here")
     pa.add_argument("--save", type=Path, default=None,
@@ -138,6 +138,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="refinement workers inside each grid cell "
                          "(default: 1; parallel grid cells always refine "
                          "serially — nested pools are not allowed)")
+    sw.add_argument("--algorithm", choices=("design", "multilevel"),
+                    default="design",
+                    help="partition backend per grid cell "
+                         "(default: design)")
     sw.add_argument("--metrics-out", type=Path, default=None, metavar="PATH",
                     help="write the grid as a schema-versioned metrics "
                          "JSON document (kind=sweep)")
@@ -150,6 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
     se.add_argument("--seed", type=int, default=0)
     se.add_argument("--heuristic", action="store_true",
                     help="use the paper's Figure-3 search")
+    se.add_argument("--algorithm", choices=("design", "multilevel"),
+                    default="design",
+                    help="partition backend per (k, b) candidate "
+                         "(default: design)")
     se.add_argument("--refine-workers", type=int, default=None,
                     metavar="N",
                     help="refinement worker processes per candidate "
@@ -288,24 +296,30 @@ def _cmd_partition(args, out) -> int:
 
             save_partition(r, args.save)
             out.write(f"saved      {args.save}\n")
+    elif args.algorithm == "multilevel":
+        from .core import multilevel_flat_partition
+        from .obs import NULL_RECORDER
+
+        r = multilevel_flat_partition(
+            netlist, args.k, args.b, seed=args.seed,
+            workers=args.refine_workers,
+            recorder=recorder if recorder is not None else NULL_RECORDER,
+        )
+        cut, loads = r.cut_size, r.part_weights.tolist()
+        gate_assignment = r.gate_assignment()
+        out.write("algorithm : multilevel (coarsen + k-way FM uncoarsening)\n")
+        out.write(f"balanced  : {r.balanced} "
+                  f"(levels: {r.levels}, coarsest: {r.coarse_vertices})\n")
     else:
+        from .baselines import random_partition
         from .hypergraph import flat_hypergraph
+        from .hypergraph.metrics import hyperedge_cut
         from .hypergraph.metrics import part_weights as pw
 
         hg = flat_hypergraph(netlist)
-        if args.algorithm == "multilevel":
-            from .baselines import multilevel_partition
-
-            r = multilevel_partition(hg, args.k, args.b, seed=args.seed)
-            cut, loads = r.cut_size, r.part_weights.tolist()
-            gate_assignment = r.assignment
-        else:
-            from .baselines import random_partition
-            from .hypergraph.metrics import hyperedge_cut
-
-            gate_assignment = random_partition(hg, args.k, seed=args.seed)
-            cut = hyperedge_cut(hg, gate_assignment)
-            loads = pw(hg, gate_assignment, args.k).tolist()
+        gate_assignment = random_partition(hg, args.k, seed=args.seed)
+        cut = hyperedge_cut(hg, gate_assignment)
+        loads = pw(hg, gate_assignment, args.k).tolist()
         out.write(f"algorithm : {args.algorithm} (flat netlist)\n")
     out.write(f"k={args.k} b={args.b}\n")
     out.write(f"cut size  : {cut}\n")
@@ -321,7 +335,7 @@ def _cmd_partition(args, out) -> int:
         from .obs import metrics_document, write_metrics
 
         counters = {"part.cut_size": int(cut)}
-        if args.algorithm == "design":
+        if args.algorithm in ("design", "multilevel"):
             counters["part.balanced"] = int(r.balanced)
         doc = metrics_document(
             "partition",
@@ -469,6 +483,7 @@ def _cmd_sweep(args, out) -> int:
         source, ks=ks, bs=bs, n_vectors=args.vectors, seed=args.seed,
         top=args.top, workers=args.workers,
         refine_workers=args.refine_workers,
+        algorithm=args.algorithm,
     )
     out.write(format_table(
         ["k", "b", "cut", "balanced", "time (s)", "speedup", "msgs",
@@ -506,12 +521,13 @@ def _cmd_search(args, out) -> int:
         study = heuristic_presim(netlist, events, max_k=args.max_k,
                                  seed=args.seed,
                                  refine_workers=args.refine_workers,
-                                 workers=args.presim_workers)
+                                 workers=args.presim_workers,
+                                 algorithm=args.algorithm)
     else:
         study = brute_force_presim(
             netlist, events, ks=tuple(range(2, args.max_k + 1)),
             seed=args.seed, refine_workers=args.refine_workers,
-            workers=args.presim_workers,
+            workers=args.presim_workers, algorithm=args.algorithm,
         )
     for p in study.points:
         out.write(f"k={p.k} b={p.b:<5} cut={p.cut_size:<6} "

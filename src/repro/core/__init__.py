@@ -15,6 +15,9 @@ Public surface:
   refinement engine (see ``docs/parallelism.md``).
 * :func:`brute_force_presim` / :func:`heuristic_presim` — the (k, b)
   selection searches driven by short trial simulations.
+* :func:`multilevel_kway_partition` / :func:`direct_kway_partition` /
+  :func:`multilevel_flat_partition` — the production multilevel k-way
+  engine and its flat comparator (see ``docs/multilevel.md``).
 """
 
 from .balance import BalanceConstraint, PAPER_B_VALUES, PAPER_K_VALUES
@@ -29,6 +32,15 @@ from .parallel_refine import (
     tournament_rounds,
 )
 from .multiway import MultiwayResult, design_driven_partition
+from .multilevel import (
+    MultilevelConfig,
+    MultilevelKwayResult,
+    MultilevelLevel,
+    coarsen_hypergraph,
+    direct_kway_partition,
+    multilevel_flat_partition,
+    multilevel_kway_partition,
+)
 from .presim import (
     PresimPoint,
     PresimStudy,
@@ -65,6 +77,13 @@ __all__ = [
     "tournament_rounds",
     "MultiwayResult",
     "design_driven_partition",
+    "MultilevelConfig",
+    "MultilevelKwayResult",
+    "MultilevelLevel",
+    "coarsen_hypergraph",
+    "direct_kway_partition",
+    "multilevel_flat_partition",
+    "multilevel_kway_partition",
     "PresimPoint",
     "PresimStudy",
     "evaluate_partition",

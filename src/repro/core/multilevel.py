@@ -1,0 +1,614 @@
+"""Production multilevel k-way partitioner on the vectorized core.
+
+The hMetis-style baseline (:mod:`repro.baselines.multilevel`) proved
+the multilevel idea on this codebase but predates the vectorized
+substrate: it recursively bisects induced sub-hypergraphs with its own
+two-way FM and never touches :class:`PartitionState`, the obs recorder
+or the parallel refinement engine.  This module is the production
+rewrite — a *direct k-way* multilevel pipeline built entirely from the
+repo's first-class machinery::
+
+    coarsen      heavy-edge first-choice matching, weight-aware
+                 (no cluster may exceed a balance-implied cap),
+                 repeated until the stop size or the reduction stalls
+    initial      greedy k-way candidates on the coarsest hypergraph
+                 (LPT + seeded random fills), each refined, best kept
+    uncoarsen    project the assignment through each level
+                 (``assignment[mapping]`` — cut-exact, see
+                 :func:`repro.hypergraph.build.project_hypergraph`)
+                 and refine with tournament-scheduled pairwise FM
+
+Every refinement round — at the coarsest level and at every
+uncoarsening level — runs through
+:class:`repro.core.parallel_refine.PairwiseRefiner`, so the engine
+inherits the PR 3 determinism contract verbatim: any ``workers`` count
+produces a **bit-identical** partition (snapshot + ordered move
+replay over disjoint tournament pairs; see ``docs/parallelism.md``
+and ``docs/multilevel.md`` for the invariance argument).
+
+Design references (PAPERS.md): weight-aware matching caps follow
+"Multilevel Hypergraph Partitioning with Vertex Weights Revisited";
+the synchronous deterministic refinement rounds follow "Deterministic
+Parallel Hypergraph Partitioning".
+
+Observability: the engine reports ``part.ml.*`` counters (levels,
+coarsest size, match totals, per-level cut maxima, refinement rounds,
+uncoarsening gain) plus the shared ``part.pairing.*`` / ``part.fm.*``
+/ ``part.refine.*`` families, under the phases ``partition.coarsen``,
+``partition.initial`` and ``partition.uncoarsen``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..hypergraph.build import flat_hypergraph, project_hypergraph
+from ..hypergraph.hypergraph import Hypergraph
+from ..hypergraph.partition_state import PartitionState
+from ..obs.recorder import NULL_RECORDER, Recorder
+from ..verilog.netlist import Netlist
+from .balance import BalanceConstraint
+from .fm import rebalance_pair
+from .parallel_refine import PairwiseRefiner, pairing_rounds
+
+__all__ = [
+    "MultilevelConfig",
+    "MultilevelLevel",
+    "MultilevelKwayResult",
+    "coarsen_hypergraph",
+    "multilevel_kway_partition",
+    "direct_kway_partition",
+    "multilevel_flat_partition",
+]
+
+
+@dataclass(frozen=True)
+class MultilevelConfig:
+    """Tuning knobs of the multilevel pipeline (all deterministic).
+
+    ``coarsest_vertices`` / ``coarsest_per_part`` set the stop size:
+    coarsening halts at ``max(coarsest_vertices, coarsest_per_part*k)``
+    vertices.  ``min_reduction`` is the stall guard — a level that
+    shrinks the vertex count by less than ``1 - min_reduction`` ends
+    the hierarchy.  ``match_weight_fraction`` caps cluster growth:
+    no match may create a vertex heavier than that fraction of the
+    Formula-1 upper load bound, so the coarsest hypergraph always
+    remains packable into a balanced k-way partition.
+    """
+
+    coarsest_vertices: int = 160
+    coarsest_per_part: int = 24
+    min_reduction: float = 0.95
+    max_levels: int = 48
+    match_weight_fraction: float = 0.5
+    large_edge_limit: int = 48
+    num_initial: int = 4
+    max_fm_passes: int = 4
+    max_rounds: int = 8
+
+    def stop_size(self, k: int) -> int:
+        return max(self.coarsest_vertices, self.coarsest_per_part * k)
+
+    def max_cluster_weight(self, constraint: BalanceConstraint,
+                           total_weight: int) -> int:
+        _, hi = constraint.bounds(total_weight)
+        return max(1, int(hi * self.match_weight_fraction))
+
+
+@dataclass(frozen=True)
+class MultilevelLevel:
+    """One coarsening step: fine hypergraph, its contraction, the map.
+
+    ``mapping[v]`` is the coarse vertex of fine vertex ``v``;
+    projecting a coarse assignment down is ``assignment[mapping]``.
+    ``max_cluster_weight`` records the matching cap in force, so the
+    coarsening invariants are checkable per level (total vertex weight
+    preserved, no *merged* cluster past the cap).
+    """
+
+    fine: Hypergraph
+    coarse: Hypergraph
+    mapping: np.ndarray
+    max_cluster_weight: int
+    matched_pairs: int
+    match_score: float
+
+
+@dataclass
+class MultilevelKwayResult:
+    """Final partition plus multilevel provenance.
+
+    ``levels`` is the hierarchy depth (0 for the direct engine),
+    ``level_cuts`` the cut after refining each uncoarsening level
+    (finest last — its entry equals ``cut_size`` before any final
+    repair).  ``gate_assignment``/``to_simulation`` make the result a
+    drop-in partition backend wherever
+    :class:`repro.core.multiway.MultiwayResult` is consumed, provided
+    the hypergraph's vertices are gates (``flat_hypergraph``).
+    """
+
+    assignment: np.ndarray
+    k: int
+    b: float
+    cut_size: int
+    part_weights: np.ndarray
+    balanced: bool
+    levels: int
+    coarse_vertices: int
+    initial_cut: int
+    refine_rounds: int
+    level_cuts: list[int] = field(default_factory=list)
+    history: list[str] = field(default_factory=list)
+
+    def gate_assignment(self) -> np.ndarray:
+        """Partition id per vertex (= per gate on a flat hypergraph)."""
+        return self.assignment
+
+    def to_simulation(self) -> tuple[list[list[int]], list[int]]:
+        """(gate clusters, machine per cluster) for the Time Warp engine.
+
+        One cluster per non-empty partition — the clustered Time Warp
+        granularity a flat partition induces.
+        """
+        clusters: list[list[int]] = []
+        machines: list[int] = []
+        for p in range(self.k):
+            members = np.flatnonzero(self.assignment == p)
+            if members.size:
+                clusters.append([int(g) for g in members])
+                machines.append(p)
+        return clusters, machines
+
+
+# -- coarsening -------------------------------------------------------------
+
+
+def _edge_pin_lists(hg: Hypergraph) -> list[list[int]]:
+    """Per-edge pin lists as plain Python ints (one bulk CSR gather)."""
+    flat, counts = hg.edges_pins(np.arange(hg.num_edges, dtype=np.int64))
+    flat_list = flat.tolist()
+    out: list[list[int]] = []
+    pos = 0
+    for c in counts.tolist():
+        out.append(flat_list[pos:pos + c])
+        pos += c
+    return out
+
+
+def _heavy_edge_matching(
+    hg: Hypergraph,
+    rng: np.random.Generator,
+    max_weight: int,
+    large_edge_limit: int,
+) -> tuple[np.ndarray, int, float]:
+    """One first-choice heavy-edge matching pass.
+
+    Vertices are visited in a seeded random order; each unmatched
+    vertex merges with the unmatched neighbour of strongest
+    connectivity ``sum(w_e / (|e| - 1))`` over shared edges, lowest id
+    on ties, skipping candidates whose merged weight would exceed
+    ``max_weight``.  Edges wider than ``large_edge_limit`` carry no
+    locality signal (clock/reset nets) and are ignored for *scoring*
+    only — they still project and still count toward cuts.
+
+    Returns ``(mapping, matched_pairs, match_score)`` where ``mapping``
+    numbers coarse vertices in fine-id order (deterministic).
+    """
+    n = hg.num_vertices
+    vertex_weight = hg.vertex_weight_list
+    edge_weight = hg.edge_weight_list
+    vertex_edges = hg.vertex_edges_lists()
+    pins_of = _edge_pin_lists(hg)
+
+    match = [-1] * n
+    matched_pairs = 0
+    match_score = 0.0
+    for v in rng.permutation(n).tolist():
+        if match[v] != -1:
+            continue
+        scores: dict[int, float] = {}
+        for e in vertex_edges[v]:
+            pins = pins_of[e]
+            size = len(pins)
+            if size < 2 or size > large_edge_limit:
+                continue
+            w = edge_weight[e] / (size - 1)
+            for u in pins:
+                if u != v and match[u] == -1:
+                    scores[u] = scores.get(u, 0.0) + w
+        best_u = -1
+        best_score = 0.0
+        wv = vertex_weight[v]
+        for u in sorted(scores):  # ascending ids: strict > keeps lowest tie
+            if wv + vertex_weight[u] > max_weight:
+                continue
+            s = scores[u]
+            if s > best_score:
+                best_score = s
+                best_u = u
+        if best_u != -1:
+            match[v] = best_u
+            match[best_u] = v
+            matched_pairs += 1
+            match_score += best_score
+        else:
+            match[v] = v
+
+    mapping = [-1] * n
+    next_id = 0
+    for v in range(n):
+        if mapping[v] != -1:
+            continue
+        mapping[v] = next_id
+        partner = match[v]
+        if partner != v and mapping[partner] == -1:
+            mapping[partner] = next_id
+        next_id += 1
+    return np.asarray(mapping, dtype=np.int64), matched_pairs, match_score
+
+
+def coarsen_hypergraph(
+    hg: Hypergraph,
+    constraint: BalanceConstraint,
+    seed: int = 0,
+    config: MultilevelConfig | None = None,
+    recorder: Recorder = NULL_RECORDER,
+) -> tuple[Hypergraph, list[MultilevelLevel]]:
+    """Build the coarsening hierarchy for a k-way run.
+
+    Returns ``(coarsest hypergraph, levels finest-first)``.  Stops at
+    the config's stop size, after ``max_levels``, or when a level
+    shrinks less than the ``min_reduction`` stall guard.  The matching
+    cap is fixed across levels at
+    :meth:`MultilevelConfig.max_cluster_weight` — a fraction of the
+    Formula-1 upper bound, so packability survives contraction.
+    """
+    cfg = config if config is not None else MultilevelConfig()
+    target = cfg.stop_size(constraint.k)
+    max_w = cfg.max_cluster_weight(constraint, hg.total_weight)
+    rng = np.random.default_rng(seed)
+    levels: list[MultilevelLevel] = []
+    current = hg
+    matched_pairs = 0
+    match_score = 0.0
+    for _ in range(cfg.max_levels):
+        if current.num_vertices <= target:
+            break
+        mapping, pairs, score = _heavy_edge_matching(
+            current, rng, max_w, cfg.large_edge_limit
+        )
+        coarse = project_hypergraph(current, mapping)
+        if coarse.num_vertices >= current.num_vertices * cfg.min_reduction:
+            break  # diminishing returns: stop the hierarchy here
+        levels.append(MultilevelLevel(
+            fine=current, coarse=coarse, mapping=mapping,
+            max_cluster_weight=max_w, matched_pairs=pairs,
+            match_score=score,
+        ))
+        matched_pairs += pairs
+        match_score += score
+        current = coarse
+    if recorder.enabled:
+        recorder.incr("part.ml.levels", len(levels))
+        recorder.incr("part.ml.coarse_vertices", current.num_vertices)
+        recorder.incr("part.ml.matched_pairs", matched_pairs)
+        recorder.incr("part.ml.match_weight", round(match_score, 3))
+        if current.num_vertices:
+            recorder.observe_max(
+                "part.ml.reduction",
+                round(hg.num_vertices / current.num_vertices, 4),
+            )
+    return current, levels
+
+
+# -- initial partition ------------------------------------------------------
+
+
+def _greedy_fill(vertex_weight: list[int], k: int,
+                 order: list[int]) -> np.ndarray:
+    """Assign vertices in ``order`` to the currently lightest partition
+    (lowest id on ties) — LPT when the order is heaviest-first."""
+    loads = [0] * k
+    assign = [0] * len(vertex_weight)
+    for v in order:
+        p = loads.index(min(loads))
+        assign[v] = p
+        loads[p] += vertex_weight[v]
+    return np.asarray(assign, dtype=np.int64)
+
+
+def _improve(
+    state: PartitionState,
+    constraint: BalanceConstraint,
+    rounds_fn,
+    refiner: PairwiseRefiner,
+    rng: np.random.Generator,
+    cfg: MultilevelConfig,
+) -> int:
+    """Tournament pairing + FM rounds until a round yields no gain
+    (the same stability loop as the direct multiway driver)."""
+    rounds = 0
+    for _ in range(cfg.max_rounds):
+        schedule = rounds_fn(state, rng)
+        gain = 0
+        for pair_round in schedule:
+            gain += refiner.refine_round(
+                state, pair_round, constraint, max_passes=cfg.max_fm_passes,
+            )
+        rounds += 1
+        if gain <= 0:
+            break
+    return rounds
+
+
+def _repair(state: PartitionState, constraint: BalanceConstraint,
+            recorder: Recorder) -> None:
+    """Greedy heavy→light balance repair (driver-side, worker-count
+    independent)."""
+    lo, hi = constraint.bounds(state.hg.total_weight)
+    for _ in range(2 * state.k):
+        heavy = int(np.argmax(state.part_weight))
+        light = int(np.argmin(state.part_weight))
+        if heavy == light:
+            break
+        if state.part_weight[heavy] <= hi and state.part_weight[light] >= lo:
+            break
+        if rebalance_pair(state, heavy, light, constraint,
+                          recorder=recorder) == 0:
+            break
+
+
+def _initial_partition(
+    coarsest: Hypergraph,
+    k: int,
+    constraint: BalanceConstraint,
+    cfg: MultilevelConfig,
+    rounds_fn,
+    refiner: PairwiseRefiner,
+    rng: np.random.Generator,
+    recorder: Recorder,
+) -> tuple[PartitionState, int]:
+    """Best of ``num_initial`` greedy candidates on the coarsest level.
+
+    Candidate 0 is the LPT fill (heaviest vertex first, lightest
+    partition); the rest are greedy fills in seeded random orders.
+    Every candidate is refined through the shared refiner (so the
+    choice is made between *locally optimal* candidates) and the winner
+    is the lexicographically best (balance violation, cut, index).
+    """
+    vertex_weight = coarsest.vertex_weight_list
+    n = coarsest.num_vertices
+    lpt = sorted(range(n), key=lambda v: (-vertex_weight[v], v))
+    best: tuple[float, int, int] | None = None
+    best_state: PartitionState | None = None
+    rounds_total = 0
+    for idx in range(max(1, cfg.num_initial)):
+        order = lpt if idx == 0 else rng.permutation(n).tolist()
+        state = PartitionState(
+            coarsest, k, _greedy_fill(vertex_weight, k, order)
+        )
+        rounds_total += _improve(state, constraint, rounds_fn, refiner,
+                                 rng, cfg)
+        _repair(state, constraint, recorder)
+        key = (constraint.violation(state.part_weight), state.cut_size, idx)
+        if best is None or key < best:
+            best = key
+            best_state = state
+    assert best_state is not None
+    return best_state, rounds_total
+
+
+# -- the drivers ------------------------------------------------------------
+
+
+def _validate(hg: Hypergraph, k: int) -> None:
+    if k < 1:
+        raise PartitionError(f"k must be >= 1, got {k}")
+    if k > hg.num_vertices:
+        raise PartitionError(
+            f"cannot make {k} partitions from {hg.num_vertices} vertices"
+        )
+
+
+def multilevel_kway_partition(
+    hg: Hypergraph,
+    k: int,
+    b: float,
+    seed: int = 0,
+    workers: int | None = None,
+    recorder: Recorder = NULL_RECORDER,
+    config: MultilevelConfig | None = None,
+) -> MultilevelKwayResult:
+    """Direct k-way multilevel partitioning of a hypergraph.
+
+    Parameters
+    ----------
+    hg:
+        Any weighted hypergraph (e.g. ``flat_hypergraph(netlist)``).
+    k, b:
+        Partition count and Formula-1 balance factor (percent).
+    seed:
+        Drives matching order and the random initial fills; fully
+        deterministic for a fixed value.
+    workers:
+        Refinement worker processes
+        (:mod:`repro.core.parallel_refine`); ``None`` consults
+        ``REPRO_WORKERS``.  **Any** worker count produces a
+        bit-identical partition — parallelism is a wall-time knob only
+        (the determinism contract, ``docs/multilevel.md``).
+    recorder:
+        Observability sink: ``part.ml.*`` plus the shared pairing /
+        FM / refine counter families and the ``partition.coarsen`` /
+        ``partition.initial`` / ``partition.uncoarsen`` phases.  A
+        recorder never changes the result.
+    config:
+        :class:`MultilevelConfig` overrides (stop size, matching cap,
+        candidate and pass budgets).
+    """
+    _validate(hg, k)
+    cfg = config if config is not None else MultilevelConfig()
+    constraint = BalanceConstraint(k, b)
+    rng = np.random.default_rng(seed)
+    history: list[str] = []
+
+    with recorder.phase("partition.coarsen"):
+        coarsest, levels = coarsen_hypergraph(
+            hg, constraint, seed=seed, config=cfg, recorder=recorder
+        )
+    history.append(
+        f"coarsen: {hg.num_vertices} -> {coarsest.num_vertices} vertices "
+        f"over {len(levels)} levels"
+    )
+
+    rounds_fn = pairing_rounds("exhaustive", recorder=recorder)
+    refiner = PairwiseRefiner(workers, recorder=recorder)
+    refine_rounds = 0
+    level_cuts: list[int] = []
+    try:
+        with recorder.phase("partition.initial"):
+            state, initial_rounds = _initial_partition(
+                coarsest, k, constraint, cfg, rounds_fn, refiner, rng,
+                recorder,
+            )
+        refine_rounds += initial_rounds
+        initial_cut = state.cut_size
+        history.append(
+            f"initial: cut={initial_cut}, "
+            f"loads={state.part_weight.tolist()}"
+        )
+        if recorder.enabled:
+            recorder.incr("part.ml.initial_candidates",
+                          max(1, cfg.num_initial))
+            recorder.incr("part.ml.initial_cut", initial_cut)
+            recorder.observe_max("part.ml.level_cut", initial_cut)
+        with recorder.phase("partition.uncoarsen"):
+            for level in reversed(levels):
+                state = PartitionState(
+                    level.fine, k, state.part[level.mapping]
+                )
+                refine_rounds += _improve(state, constraint, rounds_fn,
+                                          refiner, rng, cfg)
+                _repair(state, constraint, recorder)
+                level_cuts.append(state.cut_size)
+                if recorder.enabled:
+                    recorder.observe_max("part.ml.level_cut",
+                                         state.cut_size)
+                history.append(
+                    f"level {level.fine.num_vertices}v: "
+                    f"cut={state.cut_size}, "
+                    f"loads={state.part_weight.tolist()}"
+                )
+        refiner.record_summary()
+    finally:
+        refiner.close()
+
+    if recorder.enabled:
+        recorder.incr("part.ml.refine_rounds", refine_rounds)
+        recorder.incr("part.ml.uncoarsen_gain",
+                      max(0, initial_cut - state.cut_size))
+    return MultilevelKwayResult(
+        assignment=state.part.copy(),
+        k=k,
+        b=b,
+        cut_size=state.cut_size,
+        part_weights=state.part_weight.copy(),
+        balanced=constraint.satisfied(state.part_weight),
+        levels=len(levels),
+        coarse_vertices=coarsest.num_vertices,
+        initial_cut=initial_cut,
+        refine_rounds=refine_rounds,
+        level_cuts=level_cuts,
+        history=history,
+    )
+
+
+def direct_kway_partition(
+    hg: Hypergraph,
+    k: int,
+    b: float,
+    seed: int = 0,
+    workers: int | None = None,
+    recorder: Recorder = NULL_RECORDER,
+    config: MultilevelConfig | None = None,
+) -> MultilevelKwayResult:
+    """Flat direct k-way partitioning — the no-hierarchy comparator.
+
+    The same greedy LPT seeding and tournament-pairing FM refinement
+    as the multilevel engine, applied once to the full hypergraph with
+    no coarsening.  This is what "direct multiway on a flat
+    hypergraph" means in the decision guide (``docs/multilevel.md``)
+    and in ``benchmarks/bench_multilevel.py``'s cut-at-equal-balance
+    gate; the seeded move budget is identical, so any cut difference
+    is attributable to the hierarchy alone.
+    """
+    _validate(hg, k)
+    cfg = config if config is not None else MultilevelConfig()
+    constraint = BalanceConstraint(k, b)
+    rng = np.random.default_rng(seed)
+    history: list[str] = []
+
+    vertex_weight = hg.vertex_weight_list
+    order = sorted(range(hg.num_vertices),
+                   key=lambda v: (-vertex_weight[v], v))
+    rounds_fn = pairing_rounds("exhaustive", recorder=recorder)
+    refiner = PairwiseRefiner(workers, recorder=recorder)
+    try:
+        with recorder.phase("partition.initial"):
+            state = PartitionState(
+                hg, k, _greedy_fill(vertex_weight, k, order)
+            )
+        initial_cut = state.cut_size
+        history.append(
+            f"LPT initial: cut={initial_cut}, "
+            f"loads={state.part_weight.tolist()}"
+        )
+        with recorder.phase("partition.refine"):
+            refine_rounds = _improve(state, constraint, rounds_fn, refiner,
+                                     rng, cfg)
+        _repair(state, constraint, recorder)
+        history.append(
+            f"refined: cut={state.cut_size}, "
+            f"loads={state.part_weight.tolist()}"
+        )
+        refiner.record_summary()
+    finally:
+        refiner.close()
+    return MultilevelKwayResult(
+        assignment=state.part.copy(),
+        k=k,
+        b=b,
+        cut_size=state.cut_size,
+        part_weights=state.part_weight.copy(),
+        balanced=constraint.satisfied(state.part_weight),
+        levels=0,
+        coarse_vertices=hg.num_vertices,
+        initial_cut=initial_cut,
+        refine_rounds=refine_rounds,
+        level_cuts=[state.cut_size],
+        history=history,
+    )
+
+
+def multilevel_flat_partition(
+    netlist: Netlist,
+    k: int,
+    b: float,
+    seed: int = 0,
+    workers: int | None = None,
+    recorder: Recorder = NULL_RECORDER,
+    config: MultilevelConfig | None = None,
+) -> MultilevelKwayResult:
+    """Multilevel k-way partition of a netlist's flat gate hypergraph.
+
+    The netlist-facing adapter: vertices are gates, so the result's
+    ``gate_assignment`` / ``to_simulation`` plug directly into the CLI,
+    the pre-simulation sweeps and the Time Warp engine — the multilevel
+    counterpart of :func:`repro.core.multiway.design_driven_partition`.
+    """
+    return multilevel_kway_partition(
+        flat_hypergraph(netlist), k, b, seed=seed, workers=workers,
+        recorder=recorder, config=config,
+    )

@@ -37,6 +37,7 @@ from .parallel_refine import resolve_workers
 __all__ = [
     "PresimPoint",
     "PresimStudy",
+    "PRESIM_ALGORITHMS",
     "evaluate_partition",
     "brute_force_presim",
     "heuristic_presim",
@@ -113,10 +114,33 @@ def evaluate_partition(
 
 PartitionFn = Callable[[Netlist, int, float], MultiwayResult]
 
+#: built-in partition backends selectable by name (``algorithm=``);
+#: anything with .k/.b/.cut_size/.balanced/.to_simulation() works, so
+#: the multilevel engine's result slots straight in
+PRESIM_ALGORITHMS = ("design", "multilevel")
+
 
 def _default_partitioner(
-    seed: int, pairing: str, refine_workers: int | None = None
+    seed: int,
+    pairing: str,
+    refine_workers: int | None = None,
+    algorithm: str = "design",
 ) -> PartitionFn:
+    if algorithm not in PRESIM_ALGORITHMS:
+        raise ConfigError(
+            f"unknown presim algorithm {algorithm!r}; "
+            f"expected one of {PRESIM_ALGORITHMS}"
+        )
+    if algorithm == "multilevel":
+        from .multilevel import multilevel_flat_partition
+
+        def fn(netlist: Netlist, k: int, b: float):
+            return multilevel_flat_partition(
+                netlist, k, b, seed=seed, workers=refine_workers
+            )
+
+        return fn
+
     def fn(netlist: Netlist, k: int, b: float) -> MultiwayResult:
         return design_driven_partition(
             netlist, k, b, seed=seed, pairing=pairing, workers=refine_workers
@@ -149,6 +173,7 @@ def _init_presim_worker(
     seed: int,
     pairing: str,
     refine_workers: int | None,
+    algorithm: str,
     sequential: SequentialSimulator,
 ) -> None:
     global _WORKER_CTX
@@ -157,7 +182,9 @@ def _init_presim_worker(
         "events": events,
         "base_spec": base_spec,
         "config": config,
-        "partition_fn": _default_partitioner(seed, pairing, refine_workers),
+        "partition_fn": _default_partitioner(
+            seed, pairing, refine_workers, algorithm
+        ),
         "circuit": compile_circuit(netlist),
         "sequential": sequential,
     }
@@ -198,9 +225,10 @@ class _PointMapper:
         workers: int | None,
         circuit: CompiledCircuit,
         sequential: SequentialSimulator,
+        algorithm: str = "design",
     ) -> None:
         self._serial_fn = partitioner or _default_partitioner(
-            seed, pairing, refine_workers
+            seed, pairing, refine_workers, algorithm
         )
         self._circuit = circuit
         self._netlist = netlist
@@ -218,7 +246,7 @@ class _PointMapper:
                 max_workers=n,
                 initializer=_init_presim_worker,
                 initargs=(netlist, events, base_spec, config, seed, pairing,
-                          refine_workers, sequential),
+                          refine_workers, algorithm, sequential),
             )
 
     @property
@@ -255,6 +283,7 @@ def brute_force_presim(
     partitioner: PartitionFn | None = None,
     refine_workers: int | None = None,
     workers: int | None = None,
+    algorithm: str = "design",
 ) -> PresimStudy:
     """Evaluate every (k, b) combination; Tables 3 and 4's generator.
 
@@ -262,6 +291,11 @@ def brute_force_presim(
     :func:`~repro.core.multiway.design_driven_partition` (ignored when a
     custom ``partitioner`` is supplied); any worker count yields the
     same partitions — see ``docs/parallelism.md``.
+
+    ``algorithm`` selects the built-in partition backend per candidate:
+    ``"design"`` (the paper's Figure-2 flow) or ``"multilevel"``
+    (:func:`~repro.core.multilevel.multilevel_flat_partition`); ignored
+    when a custom ``partitioner`` is supplied.
 
     ``workers`` fans the independent (k, b) candidates over a process
     pool (default: the ``REPRO_WORKERS`` policy of
@@ -276,7 +310,7 @@ def brute_force_presim(
     sequential, _ = run_sequential_baseline(circuit, events, base_spec)
     mapper = _PointMapper(
         netlist, events, base_spec, config, seed, pairing, refine_workers,
-        partitioner, workers, circuit, sequential,
+        partitioner, workers, circuit, sequential, algorithm,
     )
     try:
         points = mapper.map([(k, b) for k in ks for b in bs])
@@ -300,6 +334,7 @@ def heuristic_presim(
     b_stop: float = 15.0,
     b_step: float = 2.5,
     workers: int | None = None,
+    algorithm: str = "design",
 ) -> PresimStudy:
     """The paper's heuristic search (Figure 3).
 
@@ -307,7 +342,9 @@ def heuristic_presim(
     choice of b will overcome having too many processors"), sweeps b
     upward, abandons the b sweep on the first non-improving speedup,
     then decrements k.  Saves pre-simulation runs at the cost of
-    possible local-minimum capture.
+    possible local-minimum capture.  ``algorithm`` picks the built-in
+    partition backend per candidate exactly as in
+    :func:`brute_force_presim`.
 
     With ``workers`` > 1 each k's whole b-row is evaluated
     speculatively in parallel, then walked in order applying the serial
@@ -321,7 +358,7 @@ def heuristic_presim(
     sequential, _ = run_sequential_baseline(circuit, events, base_spec)
     mapper = _PointMapper(
         netlist, events, base_spec, config, seed, pairing, refine_workers,
-        partitioner, workers, circuit, sequential,
+        partitioner, workers, circuit, sequential, algorithm,
     )
     points: list[PresimPoint] = []
     max_speedup = 1.0

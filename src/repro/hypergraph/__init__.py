@@ -23,7 +23,13 @@ from .metrics import (
     within_balance,
 )
 from .io import read_hgr, write_hgr, loads_hgr, dumps_hgr
-from .build import Cluster, Clustering, flat_hypergraph, hierarchy_hypergraph
+from .build import (
+    Cluster,
+    Clustering,
+    flat_hypergraph,
+    hierarchy_hypergraph,
+    project_hypergraph,
+)
 from .analysis import (
     CircuitStats,
     StuckXReport,
@@ -37,6 +43,7 @@ __all__ = [
     "Clustering",
     "flat_hypergraph",
     "hierarchy_hypergraph",
+    "project_hypergraph",
     "CircuitStats",
     "StuckXReport",
     "analyze_netlist",

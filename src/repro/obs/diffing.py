@@ -52,6 +52,7 @@ HIGHER_IS_BETTER = frozenset({
     "bench.shape_checks_passed",
     "bench.runs_saved",
     "part.fm.gain",
+    "part.ml.uncoarsen_gain",
 })
 
 #: registered metrics fixed by the workload or purely descriptive —
@@ -76,6 +77,15 @@ NEUTRAL_METRICS = frozenset({
     "part.core.gain_batches",
     "part.core.gain_batch_vertices",
     "part.core.boundary_batches",
+    # multilevel hierarchy shape: fixed by the workload + config, not
+    # quality signals (part.ml.initial_cut / level_cut / refine_rounds
+    # stay directional and gate normally)
+    "part.ml.levels",
+    "part.ml.coarse_vertices",
+    "part.ml.matched_pairs",
+    "part.ml.match_weight",
+    "part.ml.reduction",
+    "part.ml.initial_candidates",
 })
 
 #: default relative-delta gate: a directional metric moving more than

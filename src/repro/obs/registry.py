@@ -45,6 +45,16 @@ METRIC_REGISTRY: dict[str, str] = {
     "part.core.gain_batches": "batch move_gains() queries answered by the vectorized core",
     "part.core.gain_batch_vertices": "total vertices evaluated across batch gain queries",
     "part.core.boundary_batches": "vectorized pair-boundary extractions (pairing + FM fills)",
+    "part.ml.levels": "coarsening levels built by the multilevel engine",
+    "part.ml.coarse_vertices": "vertex count of the coarsest hypergraph",
+    "part.ml.matched_pairs": "heavy-edge matches accepted across all coarsening levels",
+    "part.ml.match_weight": "summed heavy-edge connectivity absorbed by accepted matches",
+    "part.ml.reduction": "finest/coarsest vertex-count ratio of the hierarchy (use .max)",
+    "part.ml.initial_candidates": "coarsest-level initial k-way candidates evaluated",
+    "part.ml.initial_cut": "cut of the winning coarsest-level initial partition",
+    "part.ml.level_cut": "cut after refining one level (use .max for the hierarchy peak)",
+    "part.ml.refine_rounds": "pairing+FM improvement rounds across all multilevel levels",
+    "part.ml.uncoarsen_gain": "cut improvement realized during uncoarsening refinement",
     "part.flatten.steps": "super-gates flattened to meet Formula 1",
     "part.redistribute.calls": "load-redistribution repairs attempted",
     "part.rounds": "pairing+FM improvement rounds until stability",
@@ -84,7 +94,10 @@ METRIC_REGISTRY: dict[str, str] = {
 #: phase names (recorded as "<name>.calls" in counter views and as host
 #: wall seconds in the opt-in host_timings channel)
 PHASE_REGISTRY: dict[str, str] = {
-    "partition.initial": "cone (or random) initial partition construction",
+    "partition.coarsen": "multilevel heavy-edge coarsening (all levels)",
+    "partition.initial": "initial partition construction (cone, random, "
+                         "or coarsest-level greedy candidates)",
+    "partition.uncoarsen": "multilevel projection + per-level refinement",
     "partition.refine": "one pairing + pairwise-FM improvement cycle",
     "partition.flatten": "super-gate flattening + assignment carry-over",
     "partition.rebalance": "load redistribution / final balance repair",

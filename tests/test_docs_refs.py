@@ -52,6 +52,42 @@ def test_attribute_chains_resolve():
     assert not check_docs.resolves("repro.nonexistent")
 
 
+def test_linter_catches_stale_metric_name(tmp_path):
+    root = tmp_path
+    (root / "docs").mkdir()
+    (root / "benchmarks").mkdir()
+    (root / "tools").mkdir()
+    (root / "README.md").write_text(
+        "watch `part.ml.levels` and `part.ml.no_such_counter`, "
+        "plus the `partition.coarsen` phase and the `part.ml.*` family; "
+        "`part.to_simulation()` and `part.json` are not metrics\n"
+    )
+    complaints = check_docs.check_docs(root)
+    assert len(complaints) == 1
+    assert "part.ml.no_such_counter" in complaints[0]
+
+
+def test_linter_catches_empty_wildcard(tmp_path):
+    root = tmp_path
+    (root / "docs").mkdir()
+    (root / "benchmarks").mkdir()
+    (root / "tools").mkdir()
+    (root / "README.md").write_text("the whole `part.nosuch.*` family\n")
+    complaints = check_docs.check_docs(root)
+    assert len(complaints) == 1
+    assert "part.nosuch.*" in complaints[0]
+
+
+def test_derived_suffixes_pass():
+    names, families = check_docs._registry_names()
+    assert check_docs.metric_complaint(
+        "part.refine.workers.max", names, families) is None
+    assert check_docs.metric_complaint(
+        "partition.coarsen.calls", names, families) is None
+    assert check_docs.metric_complaint(
+        "part.ml.level_cut", names, families) is None
+
+
 def test_cli_flag_universe_includes_subcommands():
     flags = check_docs.cli_flags()
     assert "--refine-workers" in flags

@@ -41,3 +41,10 @@ class TestGrid:
     def test_seed_changes_results(self, serial_rows):
         other = run_presim_grid(SOURCE, ks=KS, bs=BS, n_vectors=8, seed=2)
         assert other != serial_rows
+
+    def test_multilevel_backend(self, serial_rows):
+        ml = run_presim_grid(SOURCE, ks=(2,), bs=(10.0,), n_vectors=8,
+                             seed=1, algorithm="multilevel")
+        assert len(ml) == 1
+        assert ml[0].balanced
+        assert ml[0].cut_size >= 0

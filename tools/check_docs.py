@@ -11,7 +11,14 @@ named in ``docs/*.md`` and ``README.md`` resolves to something real:
   walking :func:`repro.cli.build_parser` and every subparser), on a
   script under ``benchmarks/`` or ``tools/`` (discovered by scanning
   for ``add_argument`` calls), or on the small external-tool allowlist
-  (pytest plugins invoked verbatim in the README).
+  (pytest plugins invoked verbatim in the README);
+* metric and phase names (``part.ml.levels``, ``tw.rollbacks``,
+  ``partition.coarsen``, …) must exist in
+  :mod:`repro.obs.registry` — including the derived ``.max`` /
+  ``.calls`` suffixes and ``family.*`` wildcards.  Only tokens whose
+  two-segment family matches a registered name are checked, so
+  attribute chains and file names (``part.to_simulation()``,
+  ``part.json``) never false-positive.
 
 Docs rot silently — a renamed module or dropped flag leaves stale prose
 behind with no test to catch it.  This linter is that test: it runs in
@@ -41,6 +48,10 @@ EXTERNAL_FLAGS = {
 _MODULE_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
 _FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
 _ADD_ARGUMENT_RE = re.compile(r"add_argument\(\s*['\"](--[a-z][a-z0-9-]*)['\"]")
+_METRIC_RE = re.compile(
+    r"(?<![\w.])(?:part|tw|seq|sim|bench|partition)"
+    r"\.(?:[a-z0-9_]+\.)*(?:[a-z0-9_]+|\*)"
+)
 
 
 def doc_paths(root: Path) -> list[Path]:
@@ -49,9 +60,42 @@ def doc_paths(root: Path) -> list[Path]:
     return [p for p in out if p.exists()]
 
 
-def referenced_tokens(text: str) -> tuple[set[str], set[str]]:
-    """(dotted repro paths, long flags) named anywhere in a document."""
-    return set(_MODULE_RE.findall(text)), set(_FLAG_RE.findall(text))
+def referenced_tokens(text: str) -> tuple[set[str], set[str], set[str]]:
+    """(dotted repro paths, long flags, metric-like tokens) named
+    anywhere in a document."""
+    return (set(_MODULE_RE.findall(text)), set(_FLAG_RE.findall(text)),
+            set(_METRIC_RE.findall(text)))
+
+
+def _registry_names() -> tuple[set[str], set[str]]:
+    """(all registered metric + phase names, their two-segment families)."""
+    from repro.obs.registry import METRIC_REGISTRY, PHASE_REGISTRY
+
+    names = set(METRIC_REGISTRY) | set(PHASE_REGISTRY)
+    families = {".".join(n.split(".")[:2]) for n in names}
+    return names, families
+
+
+def metric_complaint(token: str, names: set[str],
+                     families: set[str]) -> str | None:
+    """Why ``token`` is a stale metric/phase reference, or None.
+
+    Tokens outside every registered two-segment family are presumed to
+    be Python attributes or file names and are skipped; ``family.*``
+    wildcards pass when any registered name lives under the prefix.
+    """
+    from repro.obs.registry import PHASE_REGISTRY, is_registered
+
+    if token.endswith(".*"):
+        prefix = token[:-2]
+        if any(n == prefix or n.startswith(prefix + ".") for n in names):
+            return None
+        return f"wildcard `{token}` matches no registered metric or phase"
+    if ".".join(token.split(".")[:2]) not in families:
+        return None  # attribute chain / file name, not a metric
+    if is_registered(token) or token in PHASE_REGISTRY:
+        return None
+    return f"unregistered metric or phase `{token}`"
 
 
 def resolves(dotted: str) -> bool:
@@ -100,9 +144,10 @@ def script_flags(root: Path) -> set[str]:
 def check_docs(root: Path = REPO_ROOT) -> list[str]:
     """Return a list of dangling-reference complaints (empty = clean)."""
     known_flags = cli_flags() | script_flags(root) | EXTERNAL_FLAGS
+    names, families = _registry_names()
     complaints: list[str] = []
     for path in doc_paths(root):
-        modules, flags = referenced_tokens(path.read_text())
+        modules, flags, metrics = referenced_tokens(path.read_text())
         rel = path.relative_to(root)
         for dotted in sorted(modules):
             if not resolves(dotted):
@@ -110,6 +155,10 @@ def check_docs(root: Path = REPO_ROOT) -> list[str]:
         for flag in sorted(flags):
             if flag not in known_flags:
                 complaints.append(f"{rel}: unknown CLI flag `{flag}`")
+        for token in sorted(metrics):
+            why = metric_complaint(token, names, families)
+            if why is not None:
+                complaints.append(f"{rel}: {why}")
     return complaints
 
 
@@ -125,7 +174,8 @@ def main(argv: list[str] | None = None) -> int:
     if complaints:
         print(f"{len(complaints)} dangling documentation reference(s)")
         return 1
-    print("docs clean: every repro.* path and CLI flag resolves")
+    print("docs clean: every repro.* path, CLI flag and metric name "
+          "resolves")
     return 0
 
 
