@@ -45,26 +45,35 @@ def emit(
     rows: list[dict] | None = None,
     series: dict[str, list] | None = None,
     host_timings: dict[str, float] | None = None,
+    recorder=None,
 ) -> None:
     """Print a result block and persist it under benchmarks/out/.
 
     The text lands in ``<name>.txt`` as before; when any of ``params``
-    / ``counters`` / ``rows`` / ``series`` is given, a schema-validated
-    metrics document (see :mod:`repro.obs.metrics`) is written next to
-    it as ``BENCH_<name>.json``.  Everything but the ``generated_at``
-    stamp is deterministic for a fixed seed, so
+    / ``counters`` / ``rows`` / ``series`` / ``recorder`` is given, a
+    schema-validated metrics document (see :mod:`repro.obs.metrics`) is
+    written next to it as ``BENCH_<name>.json``.  Everything but the
+    ``generated_at`` stamp is deterministic for a fixed seed, so
     ``make_experiments_md.py --check`` can diff reruns byte-for-byte
     after :func:`repro.obs.strip_volatile`.  Host wall measurements
     (non-deterministic by nature) belong in ``host_timings`` — the
     quarantined channel ``strip_volatile`` removes before comparison —
     never in ``counters`` or ``rows``.
+
+    A ``recorder`` (``MetricsRecorder`` or span-capable
+    ``SpanRecorder``) folds its counters/maxima/phase calls into the
+    document's deterministic counters; a span recorder additionally
+    contributes the volatile ``spans`` timeline, which ``repro obs
+    timeline BENCH_<name>.json`` exports for Perfetto.  Its host phase
+    walls merge into ``host_timings`` (explicit keys win).
     """
     print()
     print(text)
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
     if (params is None and counters is None and rows is None
-            and series is None and host_timings is None):
+            and series is None and host_timings is None
+            and recorder is None):
         return
     base_params = {
         "circuit": CFG.circuit,
@@ -82,10 +91,15 @@ def emit(
         counters=merged_counters,
         rows=rows,
         series=series,
+        recorder=recorder,
         generated_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
     )
-    if host_timings is not None:
-        doc["host_timings"] = {k: float(v) for k, v in sorted(host_timings.items())}
+    merged_timings = dict(recorder.host_timings()) if recorder is not None else {}
+    merged_timings.update(host_timings or {})
+    if merged_timings:
+        doc["host_timings"] = {
+            k: float(v) for k, v in sorted(merged_timings.items())
+        }
         validate_metrics(doc)
     write_metrics(OUT_DIR / f"BENCH_{name}.json", doc)
 

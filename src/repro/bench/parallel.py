@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 from ..core.balance import PAPER_B_VALUES
 from ..core.parallel_refine import resolve_workers
+from ..obs.recorder import NULL_RECORDER, Recorder
+from ..obs.spans import export_telemetry, merge_telemetry, worker_telemetry
 
 __all__ = ["GridCell", "run_presim_grid"]
 
@@ -59,31 +61,42 @@ def _evaluate_cell(
     pairing: str,
     refine_workers: int = 1,
     algorithm: str = "design",
-) -> GridCell:
-    """Worker: compile, partition, pre-simulate one grid cell."""
+    collect: bool = False,
+) -> tuple[GridCell, dict | None]:
+    """Worker: compile, partition, pre-simulate one grid cell.
+
+    With ``collect`` on, the whole cell runs under a per-task
+    mini-recorder's ``sweep.cell`` span — the partitioner and Time Warp
+    engine record into it, and the export is returned alongside the
+    slim row for deterministic merge in the driver (same shape whether
+    this runs serially or in a pool worker).
+    """
     from ..circuits import random_vectors
     from ..core import design_driven_partition, multilevel_flat_partition
     from ..sim import ClusterSpec, TimeWarpConfig, compile_circuit, run_partitioned
     from ..verilog import compile_verilog
 
-    netlist = compile_verilog(source, top=top)
-    circuit = compile_circuit(netlist)
-    events = random_vectors(netlist, n_vectors, seed=seed)
-    if algorithm == "multilevel":
-        part = multilevel_flat_partition(
-            netlist, k, b, seed=seed, workers=refine_workers
+    wrec = worker_telemetry() if collect else NULL_RECORDER
+    with wrec.phase("sweep.cell"):
+        netlist = compile_verilog(source, top=top)
+        circuit = compile_circuit(netlist)
+        events = random_vectors(netlist, n_vectors, seed=seed)
+        if algorithm == "multilevel":
+            part = multilevel_flat_partition(
+                netlist, k, b, seed=seed, workers=refine_workers,
+                recorder=wrec,
+            )
+        else:
+            part = design_driven_partition(
+                netlist, k=k, b=b, seed=seed, pairing=pairing,
+                workers=refine_workers, recorder=wrec,
+            )
+        clusters, machines = part.to_simulation()
+        report = run_partitioned(
+            circuit, clusters, machines, events,
+            ClusterSpec(num_machines=k), TimeWarpConfig(), recorder=wrec,
         )
-    else:
-        part = design_driven_partition(
-            netlist, k=k, b=b, seed=seed, pairing=pairing,
-            workers=refine_workers,
-        )
-    clusters, machines = part.to_simulation()
-    report = run_partitioned(
-        circuit, clusters, machines, events,
-        ClusterSpec(num_machines=k), TimeWarpConfig(),
-    )
-    return GridCell(
+    cell = GridCell(
         k=k,
         b=b,
         cut_size=part.cut_size,
@@ -93,6 +106,7 @@ def _evaluate_cell(
         messages=report.messages,
         rollbacks=report.rollbacks,
     )
+    return cell, export_telemetry(wrec) if collect else None
 
 
 def run_presim_grid(
@@ -106,6 +120,7 @@ def run_presim_grid(
     workers: int | None = None,
     refine_workers: int = 1,
     algorithm: str = "design",
+    recorder: Recorder = NULL_RECORDER,
 ) -> list[GridCell]:
     """Run the (k, b) pre-simulation grid, optionally across processes.
 
@@ -129,16 +144,27 @@ def run_presim_grid(
     (default) or ``"multilevel"``
     (:func:`~repro.core.multilevel.multilevel_flat_partition`, see
     ``docs/multilevel.md``).
+
+    ``recorder`` collects per-cell worker telemetry (a ``sweep.cell``
+    span per cell carrying that cell's partition + Time Warp counters),
+    merged back in grid order — byte-identical at any ``workers``.
     """
     resolved = resolve_workers(workers)
+    collect = recorder.enabled
     cells = [(k, b) for k in ks for b in bs]
     args = [
         (source, top, k, b, n_vectors, seed, pairing, refine_workers,
-         algorithm)
+         algorithm, collect)
         for k, b in cells
     ]
     if resolved <= 1:
-        return [_evaluate_cell(*a) for a in args]
-    with ProcessPoolExecutor(max_workers=resolved) as pool:
-        futures = [pool.submit(_evaluate_cell, *a) for a in args]
-        return [f.result() for f in futures]
+        results = [_evaluate_cell(*a) for a in args]
+    else:
+        with ProcessPoolExecutor(max_workers=resolved) as pool:
+            futures = [pool.submit(_evaluate_cell, *a) for a in args]
+            results = [f.result() for f in futures]
+    out: list[GridCell] = []
+    for cell, telemetry in results:
+        out.append(cell)
+        merge_telemetry(recorder, telemetry)
+    return out

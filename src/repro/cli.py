@@ -11,7 +11,14 @@ without writing Python:
 * ``psim`` — partition + parallel (Time Warp) simulation with speedup
 * ``search`` — pre-simulation (k, b) selection, brute force or heuristic
 * ``obs`` — trace analysis & regression gates: ``report`` / ``diff`` /
-  ``hotspots`` / ``selfcheck`` over ``--trace`` / ``--metrics`` artifacts
+  ``hotspots`` / ``timeline`` / ``selfcheck`` over ``--trace`` /
+  ``--metrics`` artifacts
+
+``--metrics`` runs record under a span-capable recorder, so their
+documents carry a ``spans`` timeline (one lane per worker process) that
+``obs timeline`` exports as Chrome-trace JSON for Perfetto; add
+``--sample-resources`` to quarantine peak RSS / CPU readings in the
+``host_timings`` channel.  See docs/observability.md.
 """
 
 from __future__ import annotations
@@ -73,7 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "(design algorithm only)")
     pa.add_argument("--metrics", type=Path, default=None, metavar="PATH",
                     help="write a schema-versioned metrics JSON document "
-                         "(part.* counters; see docs/observability.md)")
+                         "(part.* counters + spans timeline; see "
+                         "docs/observability.md)")
+    pa.add_argument("--sample-resources", action="store_true",
+                    help="sample /proc on a background thread while "
+                         "partitioning (peak RSS, CPU, child processes); "
+                         "readings land in the host_timings channel")
 
     o = sub.add_parser("optimize", help="constant-prop + dead-gate cleanup")
     o.add_argument("file", type=Path)
@@ -107,8 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="idealized conservative mode (no rollbacks)")
     ps.add_argument("--metrics", type=Path, default=None, metavar="PATH",
                     help="write a schema-versioned metrics JSON document "
-                         "(part.*/tw.*/seq.* counters; see "
-                         "docs/observability.md)")
+                         "(part.*/tw.*/seq.* counters + spans timeline; "
+                         "see docs/observability.md)")
+    ps.add_argument("--sample-resources", action="store_true",
+                    help="sample /proc on a background thread during the "
+                         "run (peak RSS, CPU, child processes); readings "
+                         "land in the host_timings channel")
     ps.add_argument("--trace", type=Path, default=None, metavar="PATH",
                     help="dump the kernel's bounded event trace as JSONL "
                          "(exec/send/rollback/gvt/migrate events)")
@@ -144,7 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default: design)")
     sw.add_argument("--metrics-out", type=Path, default=None, metavar="PATH",
                     help="write the grid as a schema-versioned metrics "
-                         "JSON document (kind=sweep)")
+                         "JSON document (kind=sweep, with per-cell "
+                         "telemetry merged in deterministic grid order)")
+    sw.add_argument("--sample-resources", action="store_true",
+                    help="sample /proc on a background thread during the "
+                         "sweep (peak RSS, CPU, child processes); readings "
+                         "land in the host_timings channel")
 
     se = sub.add_parser("search", help="pre-simulation (k, b) selection")
     se.add_argument("file", type=Path)
@@ -167,6 +188,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker processes fanning out the (k, b) "
                          "candidates; any count yields the identical "
                          "study (default: REPRO_WORKERS env or serial)")
+    se.add_argument("--metrics", type=Path, default=None, metavar="PATH",
+                    help="write the study as a schema-versioned metrics "
+                         "JSON document (kind=sweep, one row per "
+                         "evaluated point, per-point telemetry merged)")
+    se.add_argument("--sample-resources", action="store_true",
+                    help="sample /proc on a background thread during the "
+                         "search (peak RSS, CPU, child processes); "
+                         "readings land in the host_timings channel")
 
     ob = sub.add_parser("obs", help="trace analysis & regression gates")
     obsub = ob.add_subparsers(dest="obs_command", required=True)
@@ -204,9 +233,22 @@ def build_parser() -> argparse.ArgumentParser:
     oh.add_argument("--top", type=int, default=10,
                     help="ranking length (default: 10)")
 
+    ot = obsub.add_parser(
+        "timeline",
+        help="export a metrics document's spans as Chrome-trace JSON "
+             "(open in Perfetto or chrome://tracing)")
+    ot.add_argument("metrics", type=Path,
+                    help="metrics JSON carrying a spans field (any "
+                         "--metrics run records one)")
+    ot.add_argument("-o", "--output", type=Path, default=None,
+                    metavar="PATH",
+                    help="trace output path (default: metrics path with "
+                         "a .trace.json suffix)")
+
     obsub.add_parser(
         "selfcheck",
-        help="fast smoke test of every analyzer on built-in traces")
+        help="fast smoke test of every analyzer, the span layer and "
+             "the timeline exporter on built-in artifacts")
     return p
 
 
@@ -223,6 +265,32 @@ def _stamp() -> str:
     from datetime import datetime, timezone
 
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def _start_sampler(args):
+    """Begin /proc resource sampling when ``--sample-resources`` asked
+    for it; returns the running sampler or None."""
+    if not getattr(args, "sample_resources", False):
+        return None
+    from .obs import ResourceSampler
+
+    sampler = ResourceSampler()
+    sampler.start()
+    return sampler
+
+
+def _finish_sampler(sampler, recorder, out) -> None:
+    """Stop the sampler, quarantine its readings as host values on
+    ``recorder`` (a no-op for the null recorder) and print a one-line
+    summary — host numbers never enter the deterministic counters."""
+    if sampler is None:
+        return
+    sampler.stop()
+    sampler.record_into(recorder)
+    vals = sampler.as_host_values()
+    out.write(f"resources : peak_rss={vals['obs.sampler.peak_rss_kb']:.0f} kB "
+              f"cpu={vals['obs.sampler.cpu_seconds']:.2f} s "
+              f"children(peak)={vals['obs.sampler.children.peak']:.0f}\n")
 
 
 def _cmd_circuits(args, out) -> int:
@@ -275,9 +343,10 @@ def _cmd_partition(args, out) -> int:
         return 1
     recorder = None
     if args.metrics is not None:
-        from .obs import MetricsRecorder
+        from .obs import SpanRecorder
 
-        recorder = MetricsRecorder()
+        recorder = SpanRecorder()
+    sampler = _start_sampler(args)
     if args.algorithm == "design":
         from .core import design_driven_partition
         from .obs import NULL_RECORDER
@@ -321,6 +390,7 @@ def _cmd_partition(args, out) -> int:
         cut = hyperedge_cut(hg, gate_assignment)
         loads = pw(hg, gate_assignment, args.k).tolist()
         out.write(f"algorithm : {args.algorithm} (flat netlist)\n")
+    _finish_sampler(sampler, recorder, out)
     out.write(f"k={args.k} b={args.b}\n")
     out.write(f"cut size  : {cut}\n")
     out.write(f"loads     : {loads}\n")
@@ -346,6 +416,7 @@ def _cmd_partition(args, out) -> int:
             counters=counters,
             recorder=recorder,
             generated_at=_stamp(),
+            include_host_timings=True,
         )
         write_metrics(args.metrics, doc)
         out.write(f"metrics    {args.metrics}\n")
@@ -391,9 +462,9 @@ def _cmd_psim(args, out) -> int:
 
     recorder = NULL_RECORDER
     if args.metrics is not None:
-        from .obs import MetricsRecorder
+        from .obs import SpanRecorder
 
-        recorder = MetricsRecorder()
+        recorder = SpanRecorder()
     trace = None
     if args.trace is not None:
         from .errors import ConfigError
@@ -412,6 +483,7 @@ def _cmd_psim(args, out) -> int:
 
     netlist = _load(args)
     events = random_vectors(netlist, args.vectors, seed=args.seed)
+    sampler = _start_sampler(args)
     if args.partition is not None:
         from .core import load_partition
 
@@ -438,6 +510,7 @@ def _cmd_psim(args, out) -> int:
     )
     if progress is not None:
         progress.close()
+    _finish_sampler(sampler, recorder, out)
     out.write(f"k={k} b={part.b} cut={part.cut_size} "
               f"balanced={part.balanced}\n")
     out.write(f"sequential time : {report.sequential_wall_time:.6f} s (modeled)\n")
@@ -462,6 +535,7 @@ def _cmd_psim(args, out) -> int:
                       "part.balanced": int(part.balanced)},
             recorder=recorder,
             generated_at=_stamp(),
+            include_host_timings=True,
         )
         write_metrics(args.metrics, doc)
         out.write(f"metrics         : {args.metrics}\n")
@@ -475,16 +549,25 @@ def _cmd_psim(args, out) -> int:
 
 def _cmd_sweep(args, out) -> int:
     from .bench import format_table, run_presim_grid
+    from .obs import NULL_RECORDER
 
+    recorder = NULL_RECORDER
+    if args.metrics_out is not None:
+        from .obs import SpanRecorder
+
+        recorder = SpanRecorder()
     source = args.file.read_text()
     ks = tuple(int(x) for x in args.ks.split(","))
     bs = tuple(float(x) for x in args.bs.split(","))
+    sampler = _start_sampler(args)
     cells = run_presim_grid(
         source, ks=ks, bs=bs, n_vectors=args.vectors, seed=args.seed,
         top=args.top, workers=args.workers,
         refine_workers=args.refine_workers,
         algorithm=args.algorithm,
+        recorder=recorder,
     )
+    _finish_sampler(sampler, recorder, out)
     out.write(format_table(
         ["k", "b", "cut", "balanced", "time (s)", "speedup", "msgs",
          "rollbacks"],
@@ -504,7 +587,9 @@ def _cmd_sweep(args, out) -> int:
                     "vectors": args.vectors, "seed": args.seed},
             counters={"bench.rows": len(cells)},
             rows=[c.to_row() for c in cells],
+            recorder=recorder,
             generated_at=_stamp(),
+            include_host_timings=True,
         )
         write_metrics(args.metrics_out, doc)
         out.write(f"metrics: {args.metrics_out}\n")
@@ -514,27 +599,59 @@ def _cmd_sweep(args, out) -> int:
 def _cmd_search(args, out) -> int:
     from .circuits import random_vectors
     from .core import brute_force_presim, heuristic_presim
+    from .obs import NULL_RECORDER
 
+    recorder = NULL_RECORDER
+    if args.metrics is not None:
+        from .obs import SpanRecorder
+
+        recorder = SpanRecorder()
     netlist = _load(args)
     events = random_vectors(netlist, args.vectors, seed=args.seed)
+    sampler = _start_sampler(args)
     if args.heuristic:
         study = heuristic_presim(netlist, events, max_k=args.max_k,
                                  seed=args.seed,
                                  refine_workers=args.refine_workers,
                                  workers=args.presim_workers,
-                                 algorithm=args.algorithm)
+                                 algorithm=args.algorithm,
+                                 recorder=recorder)
     else:
         study = brute_force_presim(
             netlist, events, ks=tuple(range(2, args.max_k + 1)),
             seed=args.seed, refine_workers=args.refine_workers,
             workers=args.presim_workers, algorithm=args.algorithm,
+            recorder=recorder,
         )
+    _finish_sampler(sampler, recorder, out)
     for p in study.points:
         out.write(f"k={p.k} b={p.b:<5} cut={p.cut_size:<6} "
                   f"time={p.sim_time:.6f}s speedup={p.speedup:.2f}\n")
     best = study.best
     out.write(f"\nbest: k={best.k} b={best.b} "
               f"(speedup {best.speedup:.2f}, {study.runs} runs)\n")
+    if args.metrics is not None:
+        from .obs import metrics_document, write_metrics
+
+        doc = metrics_document(
+            "search",
+            kind="sweep",
+            params={"file": str(args.file), "max_k": args.max_k,
+                    "vectors": args.vectors, "seed": args.seed,
+                    "heuristic": args.heuristic,
+                    "algorithm": args.algorithm},
+            counters={"bench.rows": len(study.points),
+                      "bench.best_k": best.k, "bench.best_b": best.b},
+            rows=[{"k": p.k, "b": p.b, "cut": p.cut_size,
+                   "balanced": p.balanced, "sim_time": p.sim_time,
+                   "speedup": p.speedup, "messages": p.messages,
+                   "rollbacks": p.rollbacks} for p in study.points],
+            recorder=recorder,
+            generated_at=_stamp(),
+            include_host_timings=True,
+        )
+        write_metrics(args.metrics, doc)
+        out.write(f"metrics: {args.metrics}\n")
     return 0
 
 
@@ -601,6 +718,21 @@ def _cmd_obs_hotspots(args, out) -> int:
         out.write(f"{h.lp:>5} {h.partition:>5} {h.rollbacks:>10} "
                   f"{h.share:>6.1%} {h.undone:>7} {h.antis:>6} "
                   f"{h.max_depth:>6}\n")
+    return 0
+
+
+def _cmd_obs_timeline(args, out) -> int:
+    from .obs import read_metrics, write_chrome_trace
+
+    doc = read_metrics(args.metrics)
+    output = args.output
+    if output is None:
+        output = args.metrics.with_suffix(".trace.json")
+    write_chrome_trace(output, doc)
+    spans = doc.get("spans", [])
+    lanes = {row["lane"] for row in spans}
+    out.write(f"timeline: {output} ({len(spans)} spans, "
+              f"{len(lanes)} lanes)\n")
     return 0
 
 
@@ -675,6 +807,72 @@ def _cmd_obs_selfcheck(args, out) -> int:
           analyze_run(events, doc).render() == analyze_run(
               parse_trace(buf.to_jsonl()), doc).render())
 
+    # --- span layer: nesting, merge, validation, timeline export ---
+    from .errors import MetricsError
+    from .obs import (
+        SpanRecorder,
+        chrome_trace,
+        export_telemetry,
+        merge_telemetry,
+        validate_spans,
+    )
+
+    tick = iter(x * 0.5 for x in range(100))
+    wall = iter(x / 10.0 for x in range(100))
+    srec = SpanRecorder(clock=lambda: next(tick),
+                        span_clock=lambda: next(wall))
+    with srec.phase("sweep.cell"):
+        with srec.phase("presim.partition"):
+            pass
+        # a worker-side mini-recorder, exported and merged back the way
+        # the pool paths do it; its wall clock sits inside the driver's
+        # open presim.simulate window so containment holds
+        wwall = iter([0.32, 0.38])
+        wrec = SpanRecorder(clock=lambda: 0.0,
+                            span_clock=lambda: next(wwall),
+                            lane="worker-1")
+        with wrec.phase("refine.pair"):
+            wrec.incr("part.fm.moves", 2)
+        payload = export_telemetry(wrec)
+        with srec.phase("presim.simulate"):
+            merge_telemetry(srec, payload)
+    rows = srec.span_rows()
+    validate_spans(rows)
+    scounters = srec.as_counters()
+    check("span count", scounters["obs.span.count"] == 4)
+    check("span nesting depth", scounters["obs.span.depth.max"] == 3)
+    check("merged worker counter", scounters["part.fm.moves"] == 2)
+    check("adopted span keeps its lane and gains a parent",
+          any(r["lane"] == "worker-1" and r["parent"] is not None
+              for r in rows))
+    try:
+        validate_spans([{"sid": 1, "parent": 99, "name": "x",
+                         "lane": "main", "t0": 0.0, "t1": 1.0}])
+        orphan_rejected = False
+    except MetricsError:
+        orphan_rejected = True
+    check("orphan span rejected", orphan_rejected)
+
+    sdoc = metrics_document("selfcheck", kind="custom", recorder=srec)
+    trace_json = chrome_trace(sdoc)
+    slices = [e for e in trace_json["traceEvents"] if e.get("ph") == "X"]
+    check("timeline slice per span", len(slices) == len(rows))
+    check("timeline lane per worker",
+          len({e["tid"] for e in slices}) == 2)
+
+    small = TraceBuffer(capacity=2)
+    for r in range(3):
+        small.emit("gvt", round=r, gvt=r, checkpoint_bytes=0)
+    check("ring drop counter", small.dropped == 1)
+    devents = parse_trace(small.to_jsonl())
+    check("dropped inferred from surviving seqs",
+          analyze_run(devents).trace_dropped == 1)
+    ddoc = metrics_document(
+        "selfcheck", kind="custom",
+        counters={"obs.trace.dropped": small.dropped})
+    check("report flags truncation",
+          "trace truncated" in analyze_run(devents, ddoc).render())
+
     out.write(f"obs selfcheck: ok ({checks} checks)\n")
     return 0
 
@@ -683,6 +881,7 @@ _OBS_COMMANDS = {
     "report": _cmd_obs_report,
     "diff": _cmd_obs_diff,
     "hotspots": _cmd_obs_hotspots,
+    "timeline": _cmd_obs_timeline,
     "selfcheck": _cmd_obs_selfcheck,
 }
 

@@ -43,11 +43,18 @@ strategy.  The other three strategies already produce disjoint pairs
 and pass through :func:`schedule_rounds` unchanged.
 
 Observability: the engine reports ``part.refine.rounds`` /
-``part.refine.tasks`` as counters and ``part.refine.workers`` /
-``part.refine.ideal_speedup`` / ``part.refine.utilization`` as maxima
-(all deterministic, structural quantities — host wall time stays in
-the recorder's ``host_timings`` channel).  See ``docs/parallelism.md``
-for the full determinism contract and the move-replay protocol.
+``part.refine.tasks`` as counters (deterministic, structural) and
+``part.refine.workers`` / ``part.refine.ideal_speedup`` /
+``part.refine.utilization`` as host values — they depend on the
+execution harness's worker count, so they live in the quarantined
+``host_timings`` channel with wall time, never in the deterministic
+counter body.  Each pair task — in a pool
+worker *and* on the serial path — runs under its own mini-recorder
+(:func:`repro.obs.spans.worker_telemetry`) whose ``refine.pair`` span
+and FM counters travel back with the move list and merge in pair
+order, so the merged telemetry document is byte-identical at any
+worker count.  See ``docs/parallelism.md`` for the full determinism
+contract and the move-replay protocol.
 """
 
 from __future__ import annotations
@@ -62,6 +69,7 @@ import numpy as np
 from ..errors import ConfigError, PartitionError
 from ..hypergraph.partition_state import PartitionState
 from ..obs.recorder import NULL_RECORDER, Recorder
+from ..obs.spans import export_telemetry, merge_telemetry, worker_telemetry
 from .balance import BalanceConstraint
 from .fm import refine_pair
 from .pairing import PAIRING_STRATEGIES, pairing_strategy
@@ -213,18 +221,18 @@ def pairing_rounds(
 
 # Per-process context installed by the pool initializer: the read-only
 # hypergraph (shipped once per granularity level), partition count,
-# balance constraint and FM pass budget.
+# balance constraint, FM pass budget, and whether to collect telemetry.
 _WORKER_CTX: tuple | None = None
 
 
-def _init_refine_worker(hg, k, constraint, max_passes) -> None:
+def _init_refine_worker(hg, k, constraint, max_passes, collect) -> None:
     global _WORKER_CTX
-    _WORKER_CTX = (hg, k, constraint, max_passes)
+    _WORKER_CTX = (hg, k, constraint, max_passes, collect)
 
 
 def _refine_pair_task(
     snapshot: tuple, a: int, b: int
-) -> tuple[int, int, int, list[tuple[int, int]]]:
+) -> tuple[int, int, int, list[tuple[int, int]], dict | None]:
     """Worker: refine one pair against the round-start snapshot.
 
     ``snapshot`` is the driver's :meth:`PartitionState.export_arrays`
@@ -234,14 +242,24 @@ def _refine_pair_task(
     process private copies, so reconstruction costs nothing beyond
     transport: no per-pair ``recompute`` over the pins.
 
-    Returns ``(gain, passes, moves, move_log)`` — the slim payload the
-    driver replays; the worker's full state is discarded.
+    Returns ``(gain, passes, moves, move_log, telemetry)`` — the slim
+    move payload the driver replays plus, when the driver's recorder is
+    on, this task's mini-recorder export (a ``refine.pair`` span on
+    this worker's lane carrying the FM counters) for deterministic
+    merge; the worker's full state is discarded.
     """
-    hg, k, constraint, max_passes = _WORKER_CTX
+    hg, k, constraint, max_passes, collect = _WORKER_CTX
     state = PartitionState.from_arrays(hg, k, snapshot)
-    res = refine_pair(state, a, b, constraint, max_passes=max_passes,
-                      collect_moves=True)
-    return res.gain, res.passes, res.moves, res.moves_log or []
+    if not collect:
+        res = refine_pair(state, a, b, constraint, max_passes=max_passes,
+                          collect_moves=True)
+        return res.gain, res.passes, res.moves, res.moves_log or [], None
+    wrec = worker_telemetry()
+    with wrec.phase("refine.pair"):
+        res = refine_pair(state, a, b, constraint, max_passes=max_passes,
+                          collect_moves=True, recorder=wrec)
+    return (res.gain, res.passes, res.moves, res.moves_log or [],
+            export_telemetry(wrec))
 
 
 # -- driver side -----------------------------------------------------------
@@ -295,14 +313,15 @@ class PairwiseRefiner:
     def _ensure_pool(self, state: PartitionState,
                      constraint: BalanceConstraint,
                      max_passes: int) -> ProcessPoolExecutor:
-        key = (id(state.hg), state.k, constraint, max_passes)
+        collect = self._recorder.enabled
+        key = (id(state.hg), state.k, constraint, max_passes, collect)
         if self._pool is not None and self._pool_key == key:
             return self._pool
         self.close()
         self._pool = ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_refine_worker,
-            initargs=(state.hg, state.k, constraint, max_passes),
+            initargs=(state.hg, state.k, constraint, max_passes, collect),
         )
         self._pool_key = key
         return self._pool
@@ -334,11 +353,23 @@ class PairwiseRefiner:
             recorder.incr("part.refine.rounds")
             recorder.incr("part.refine.tasks", len(pairs))
         if self.workers == 1 or len(pairs) == 1:
+            # the serial path builds the SAME per-task mini-recorder a
+            # pool worker would, so the merged telemetry (counters,
+            # phase calls, span structure) is byte-identical at any
+            # worker count — only the volatile span lanes/timestamps
+            # differ
             gain = 0
             for a, b in pairs:
-                gain += refine_pair(state, a, b, constraint,
-                                    max_passes=max_passes,
-                                    recorder=recorder).gain
+                if recorder.enabled:
+                    wrec = worker_telemetry()
+                    with wrec.phase("refine.pair"):
+                        gain += refine_pair(state, a, b, constraint,
+                                            max_passes=max_passes,
+                                            recorder=wrec).gain
+                    merge_telemetry(recorder, export_telemetry(wrec))
+                else:
+                    gain += refine_pair(state, a, b, constraint,
+                                        max_passes=max_passes).gain
             return gain
         pool = self._ensure_pool(state, constraint, max_passes)
         # full derived-array snapshot, exported once per round; workers
@@ -349,7 +380,7 @@ class PairwiseRefiner:
                    for a, b in pairs]
         round_gain = 0
         for (a, b), future in zip(pairs, futures):
-            worker_gain, passes, moves, move_log = future.result()
+            worker_gain, passes, moves, move_log, telemetry = future.result()
             replayed = 0
             for v, to in move_log:
                 replayed += state.move(v, to)
@@ -360,25 +391,31 @@ class PairwiseRefiner:
                     "(pairs in a round must be disjoint)"
                 )
             round_gain += replayed
-            if recorder.enabled:
-                recorder.incr("part.fm.passes", passes)
-                recorder.incr("part.fm.moves", moves)
-                recorder.incr("part.fm.gain", replayed)
+            # fold the worker's FM counters + refine.pair span back in
+            # submission (pair) order — deterministic regardless of
+            # completion order
+            merge_telemetry(recorder, telemetry)
         return round_gain
 
     # -- telemetry --------------------------------------------------------
 
     def record_summary(self) -> None:
-        """Record the structural parallelism metrics of the whole run:
-        resolved worker count, ideal (critical-path) speedup and worker
-        utilization.  All deterministic; recorded as maxima so restarts
-        keep the best-run view rather than summing ratios."""
+        """Record the parallelism summary of the whole run: resolved
+        worker count, ideal (critical-path) speedup and worker
+        utilization.  These are functions of the execution harness's
+        worker count — host configuration, not modeled results — so
+        they go to the recorder's quarantined host-value channel
+        (:data:`repro.obs.registry.HOST_VALUE_REGISTRY`), keeping the
+        deterministic counter body byte-identical at any worker count
+        (the telemetry-merge contract of :mod:`repro.obs.spans`)."""
         recorder = self._recorder
         if not recorder.enabled or self._tasks == 0:
             return
+        record = getattr(recorder, "record_host", None)
+        if record is None:
+            return
         slots = max(self._slots, 1)
-        recorder.observe_max("part.refine.workers", self.workers)
-        recorder.observe_max("part.refine.ideal_speedup",
-                             round(self._tasks / slots, 4))
-        recorder.observe_max("part.refine.utilization",
-                             round(self._tasks / (slots * self.workers), 4))
+        record("part.refine.workers", self.workers)
+        record("part.refine.ideal_speedup", round(self._tasks / slots, 4))
+        record("part.refine.utilization",
+               round(self._tasks / (slots * self.workers), 4))

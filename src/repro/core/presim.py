@@ -24,6 +24,8 @@ from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 from ..errors import ConfigError
+from ..obs.recorder import NULL_RECORDER, Recorder
+from ..obs.spans import export_telemetry, merge_telemetry, worker_telemetry
 from ..sim.cluster import ClusterSpec, TimeWarpConfig
 from ..sim.compiled import CompiledCircuit, compile_circuit
 from ..sim.engine import SimulationReport, run_partitioned, run_sequential_baseline
@@ -46,7 +48,14 @@ __all__ = [
 
 @dataclass
 class PresimPoint:
-    """One evaluated (k, b) combination."""
+    """One evaluated (k, b) combination.
+
+    ``telemetry`` is the point's mini-recorder export (see
+    :func:`repro.obs.spans.export_telemetry`) when the search ran with
+    a recorder; the searches merge it into the driver's recorder only
+    for points they actually *consume*, so the merged document is
+    identical whether speculative parallel evaluation happened or not.
+    """
 
     k: int
     b: float
@@ -58,6 +67,7 @@ class PresimPoint:
     rollbacks: int
     partition: MultiwayResult
     report: SimulationReport
+    telemetry: dict | None = None
 
 
 @dataclass
@@ -85,6 +95,7 @@ def evaluate_partition(
     base_spec: ClusterSpec,
     config: TimeWarpConfig = TimeWarpConfig(),
     sequential=None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> PresimPoint:
     """Pre-simulate one partition on a k-machine virtual cluster."""
     clusters, lp_machine = partition.to_simulation()
@@ -97,6 +108,7 @@ def evaluate_partition(
         spec,
         config,
         sequential=sequential,
+        recorder=recorder,
     )
     return PresimPoint(
         k=partition.k,
@@ -165,6 +177,45 @@ def _default_partitioner(
 _WORKER_CTX: dict | None = None
 
 
+def _evaluate_point(
+    circuit: CompiledCircuit,
+    partition_fn: "PartitionFn",
+    netlist: Netlist,
+    events: Sequence[InputEvent],
+    base_spec: ClusterSpec,
+    config: TimeWarpConfig,
+    sequential,
+    k: int,
+    b: float,
+    collect: bool,
+) -> PresimPoint:
+    """Partition + pre-simulate one (k, b) candidate.
+
+    The single evaluation path for both the serial mapper and the pool
+    workers: when ``collect`` is on, the point runs under its own
+    mini-recorder — a ``presim.point`` span wrapping
+    ``presim.partition`` and ``presim.simulate`` child spans, with the
+    Time Warp counters of the trial run recorded inside — and the
+    export rides back on ``PresimPoint.telemetry``.  Because the same
+    mini-recorder is built wherever the point runs, merged telemetry
+    cannot depend on the worker count.
+    """
+    if not collect:
+        part = partition_fn(netlist, k, b)
+        return evaluate_partition(circuit, part, events, base_spec, config,
+                                  sequential=sequential)
+    wrec = worker_telemetry()
+    with wrec.phase("presim.point"):
+        with wrec.phase("presim.partition"):
+            part = partition_fn(netlist, k, b)
+        with wrec.phase("presim.simulate"):
+            point = evaluate_partition(circuit, part, events, base_spec,
+                                       config, sequential=sequential,
+                                       recorder=wrec)
+    point.telemetry = export_telemetry(wrec)
+    return point
+
+
 def _init_presim_worker(
     netlist: Netlist,
     events: Sequence[InputEvent],
@@ -175,6 +226,7 @@ def _init_presim_worker(
     refine_workers: int | None,
     algorithm: str,
     sequential: SequentialSimulator,
+    collect: bool = False,
 ) -> None:
     global _WORKER_CTX
     _WORKER_CTX = {
@@ -187,6 +239,7 @@ def _init_presim_worker(
         ),
         "circuit": compile_circuit(netlist),
         "sequential": sequential,
+        "collect": collect,
     }
 
 
@@ -194,10 +247,10 @@ def _presim_point_task(kb: tuple[int, float]) -> PresimPoint:
     ctx = _WORKER_CTX
     assert ctx is not None, "presim worker used before initialization"
     k, b = kb
-    part = ctx["partition_fn"](ctx["netlist"], k, b)
-    return evaluate_partition(
-        ctx["circuit"], part, ctx["events"], ctx["base_spec"], ctx["config"],
-        sequential=ctx["sequential"],
+    return _evaluate_point(
+        ctx["circuit"], ctx["partition_fn"], ctx["netlist"], ctx["events"],
+        ctx["base_spec"], ctx["config"], ctx["sequential"], k, b,
+        ctx["collect"],
     )
 
 
@@ -226,6 +279,7 @@ class _PointMapper:
         circuit: CompiledCircuit,
         sequential: SequentialSimulator,
         algorithm: str = "design",
+        collect: bool = False,
     ) -> None:
         self._serial_fn = partitioner or _default_partitioner(
             seed, pairing, refine_workers, algorithm
@@ -236,6 +290,7 @@ class _PointMapper:
         self._base_spec = base_spec
         self._config = config
         self._sequential = sequential
+        self._collect = collect
         n = resolve_workers(workers)
         if partitioner is not None or multiprocessing.current_process().daemon:
             n = 1
@@ -246,7 +301,7 @@ class _PointMapper:
                 max_workers=n,
                 initializer=_init_presim_worker,
                 initargs=(netlist, events, base_spec, config, seed, pairing,
-                          refine_workers, algorithm, sequential),
+                          refine_workers, algorithm, sequential, collect),
             )
 
     @property
@@ -254,10 +309,10 @@ class _PointMapper:
         return self._pool is not None
 
     def one(self, k: int, b: float) -> PresimPoint:
-        return evaluate_partition(
-            self._circuit, self._serial_fn(self._netlist, k, b),
-            self._events, self._base_spec, self._config,
-            sequential=self._sequential,
+        return _evaluate_point(
+            self._circuit, self._serial_fn, self._netlist, self._events,
+            self._base_spec, self._config, self._sequential, k, b,
+            self._collect,
         )
 
     def map(self, combos: Sequence[tuple[int, float]]) -> list[PresimPoint]:
@@ -284,6 +339,7 @@ def brute_force_presim(
     refine_workers: int | None = None,
     workers: int | None = None,
     algorithm: str = "design",
+    recorder: Recorder = NULL_RECORDER,
 ) -> PresimStudy:
     """Evaluate every (k, b) combination; Tables 3 and 4's generator.
 
@@ -303,19 +359,27 @@ def brute_force_presim(
     sequential baseline is computed once and shipped to the workers;
     results are merged in (k, b) submission order, so the study —
     points, stats and chosen best — is identical at any worker count.
+
+    ``recorder`` collects per-point worker telemetry (``presim.point``
+    spans with the trial runs' Time Warp counters), merged in (k, b)
+    order — the merged document is byte-identical at any ``workers``.
     """
     if not ks or not bs:
         raise ConfigError("ks and bs must be non-empty")
     circuit = compile_circuit(netlist)
-    sequential, _ = run_sequential_baseline(circuit, events, base_spec)
+    sequential, _ = run_sequential_baseline(circuit, events, base_spec,
+                                            recorder=recorder)
     mapper = _PointMapper(
         netlist, events, base_spec, config, seed, pairing, refine_workers,
         partitioner, workers, circuit, sequential, algorithm,
+        collect=recorder.enabled,
     )
     try:
         points = mapper.map([(k, b) for k in ks for b in bs])
     finally:
         mapper.close()
+    for point in points:
+        merge_telemetry(recorder, point.telemetry)
     best = max(points, key=lambda p: (p.speedup, -p.k, p.b))
     return PresimStudy(points=points, best=best, runs=len(points))
 
@@ -335,6 +399,7 @@ def heuristic_presim(
     b_step: float = 2.5,
     workers: int | None = None,
     algorithm: str = "design",
+    recorder: Recorder = NULL_RECORDER,
 ) -> PresimStudy:
     """The paper's heuristic search (Figure 3).
 
@@ -355,10 +420,12 @@ def heuristic_presim(
     if max_k < 2:
         raise ConfigError("heuristic presimulation needs max_k >= 2")
     circuit = compile_circuit(netlist)
-    sequential, _ = run_sequential_baseline(circuit, events, base_spec)
+    sequential, _ = run_sequential_baseline(circuit, events, base_spec,
+                                            recorder=recorder)
     mapper = _PointMapper(
         netlist, events, base_spec, config, seed, pairing, refine_workers,
         partitioner, workers, circuit, sequential, algorithm,
+        collect=recorder.enabled,
     )
     points: list[PresimPoint] = []
     max_speedup = 1.0
@@ -380,6 +447,10 @@ def heuristic_presim(
             )
             for point in row:
                 points.append(point)
+                # merge only points the serial walk would have run —
+                # speculative extras past the abandon are dropped, so
+                # the telemetry matches the serial search exactly
+                merge_telemetry(recorder, point.telemetry)
                 if point.speedup > max_speedup:
                     max_speedup = point.speedup
                     best = point

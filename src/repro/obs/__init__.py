@@ -23,6 +23,14 @@ One subsystem owns every measurement concern of the reproduction:
   the CI regression gate (thresholds per registry name).
 * :mod:`repro.obs.progress` — :class:`ProgressHeartbeat`, the
   throttled live status line for long Time Warp runs (off by default).
+* :mod:`repro.obs.spans` — hierarchical span trees over the phase API
+  (:class:`SpanRecorder`) and the worker-telemetry export/merge
+  protocol that keeps parallel runs byte-identical to serial ones.
+* :mod:`repro.obs.timeline` — Chrome-trace/Perfetto export of a
+  document's span tree (``repro obs timeline``), one track per lane.
+* :mod:`repro.obs.sampler` — :class:`ResourceSampler`, a background
+  ``/proc`` poller (peak RSS, CPU, children) whose values land in the
+  quarantined host channel only.
 
 Design rules (enforced by tests):
 
@@ -68,10 +76,23 @@ from .metrics import (
 from .registry import (
     METRIC_REGISTRY,
     PHASE_REGISTRY,
+    HOST_VALUE_REGISTRY,
     TRACE_FIELD_REGISTRY,
     is_registered,
     trace_fields,
 )
+from .spans import (
+    Span,
+    SpanRecorder,
+    worker_lane,
+    worker_telemetry,
+    export_telemetry,
+    merge_telemetry,
+    validate_spans,
+    span_depths,
+)
+from .timeline import chrome_trace, write_chrome_trace
+from .sampler import ResourceSampler
 from .analyze import (
     GVT_DONE,
     REFERENCED_METRICS,
@@ -123,9 +144,22 @@ __all__ = [
     "metrics_equal",
     "METRIC_REGISTRY",
     "PHASE_REGISTRY",
+    "HOST_VALUE_REGISTRY",
     "TRACE_FIELD_REGISTRY",
     "is_registered",
     "trace_fields",
+    # spans / timeline / sampler
+    "Span",
+    "SpanRecorder",
+    "worker_lane",
+    "worker_telemetry",
+    "export_telemetry",
+    "merge_telemetry",
+    "validate_spans",
+    "span_depths",
+    "chrome_trace",
+    "write_chrome_trace",
+    "ResourceSampler",
     # analysis
     "GVT_DONE",
     "REFERENCED_METRICS",

@@ -45,6 +45,7 @@ from .trace import TRACE_EVENT_KINDS
 __all__ = [
     "load_trace",
     "parse_trace",
+    "trace_dropped",
     "Hotspot",
     "rollback_hotspots",
     "Cascade",
@@ -64,6 +65,7 @@ GVT_DONE = 1 << 62
 #: registry metric names the analyzers and reports cross-reference;
 #: the test suite asserts each is registered (no docs/analyzer drift)
 REFERENCED_METRICS = (
+    "obs.trace.dropped",
     "part.cut_size",
     "tw.anti_messages_sent",
     "tw.committed_events",
@@ -112,6 +114,17 @@ def parse_trace(text: str) -> list[dict]:
 def load_trace(path: str | Path) -> list[dict]:
     """Load a JSONL trace dump (``TraceBuffer.dump`` output) from disk."""
     return parse_trace(Path(path).read_text())
+
+
+def trace_dropped(events: list[dict]) -> int:
+    """Events the bounded ring evicted before this trace was dumped.
+
+    Sequence numbers are assigned from 0 at emit time and survive
+    eviction, so the first surviving event's ``seq`` *is* the eviction
+    count — the trace-only fallback when no metrics document carries
+    the authoritative ``obs.trace.dropped`` counter.
+    """
+    return events[0]["seq"] if events else 0
 
 
 def _by_kind(events: list[dict], kind: str) -> list[dict]:

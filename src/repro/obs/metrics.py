@@ -57,11 +57,14 @@ __all__ = [
 METRICS_SCHEMA_VERSION = 1
 
 #: the host-dependent fields excluded from every cross-run comparison:
-#: ``generated_at`` is a wall-clock stamp and ``host_timings`` holds
-#: host wall seconds — both differ between identical runs.  Anything
+#: ``generated_at`` is a wall-clock stamp, ``host_timings`` holds host
+#: wall seconds, and ``spans`` carries wall-clock span intervals (the
+#: timeline channel) — all differ between identical runs.  Anything
 #: comparing documents (``strip_volatile``, ``metrics_equal``,
 #: ``repro.obs.diffing``) must go through this list, never hard-code it.
-VOLATILE_FIELDS = ("generated_at", "host_timings")
+#: Span *structure* stays comparable through the deterministic
+#: ``obs.span.count`` / ``obs.span.depth.max`` counters.
+VOLATILE_FIELDS = ("generated_at", "host_timings", "spans")
 
 _SCALAR = (str, int, float, bool, type(None))
 _KINDS = ("bench", "run", "partition", "sweep", "custom")
@@ -100,7 +103,10 @@ def metrics_document(
         A :class:`~repro.obs.recorder.MetricsRecorder` whose counters,
         maxima and phase call counts are folded into ``counters`` (and,
         when ``include_host_timings``, its host wall times into
-        ``host_timings``).
+        ``host_timings``).  A span-capable recorder
+        (:class:`~repro.obs.spans.SpanRecorder`) additionally
+        contributes its completed span tree as the volatile ``spans``
+        field — the :mod:`repro.obs.timeline` exporter's input.
     generated_at:
         Timestamp string stamped by the caller *outside* the
         deterministic core; ``None`` omits wall-clock provenance.
@@ -127,6 +133,11 @@ def metrics_document(
         doc["series"] = {k: list(v) for k, v in sorted(series.items())}
     if include_host_timings and recorder is not None:
         doc["host_timings"] = recorder.host_timings()
+    span_rows = getattr(recorder, "span_rows", None)
+    if span_rows is not None:
+        spans = span_rows()
+        if spans:
+            doc["spans"] = spans
     validate_metrics(doc)
     return doc
 
@@ -205,8 +216,38 @@ def validate_metrics(doc: object) -> dict:
             if isinstance(v, bool) or not isinstance(v, (int, float)):
                 _fail(f"$.host_timings.{k}",
                       f"expected a number, got {type(v).__name__}")
+    if "spans" in doc:
+        spans = doc["spans"]
+        if not isinstance(spans, list):
+            _fail("$.spans", f"expected a list, got {type(spans).__name__}")
+        span_keys = {"sid", "parent", "name", "lane", "t0", "t1"}
+        for i, span in enumerate(spans):
+            if not isinstance(span, dict):
+                _fail(f"$.spans[{i}]",
+                      f"expected an object, got {type(span).__name__}")
+            if set(span) != span_keys:
+                _fail(f"$.spans[{i}]",
+                      f"expected exactly keys {sorted(span_keys)}, "
+                      f"got {sorted(span)}")
+            if not isinstance(span["sid"], int) or isinstance(span["sid"], bool):
+                _fail(f"$.spans[{i}].sid",
+                      f"expected an int, got {span['sid']!r}")
+            parent = span["parent"]
+            if parent is not None and (
+                    not isinstance(parent, int) or isinstance(parent, bool)):
+                _fail(f"$.spans[{i}].parent",
+                      f"expected an int or null, got {parent!r}")
+            for key in ("name", "lane"):
+                if not isinstance(span[key], str) or not span[key]:
+                    _fail(f"$.spans[{i}].{key}",
+                          f"expected a non-empty string, got {span[key]!r}")
+            for key in ("t0", "t1"):
+                v = span[key]
+                if isinstance(v, bool) or not isinstance(v, (int, float)):
+                    _fail(f"$.spans[{i}].{key}",
+                          f"expected a number, got {v!r}")
     known = {"schema_version", "name", "kind", "generated_at", "params",
-             "counters", "rows", "series", "host_timings"}
+             "counters", "rows", "series", "host_timings", "spans"}
     extra = set(doc) - known
     if extra:
         _fail("$", f"unknown fields {sorted(extra)}")

@@ -134,7 +134,7 @@ class MetricsRecorder(Recorder):
         :func:`time.perf_counter`.  Tests inject a fake clock.
     """
 
-    __slots__ = ("counters", "maxima", "phases", "_clock")
+    __slots__ = ("counters", "maxima", "phases", "host_values", "_clock")
 
     enabled = True
 
@@ -145,6 +145,10 @@ class MetricsRecorder(Recorder):
         self.maxima: dict[str, int | float] = {}
         #: phase statistics, name -> PhaseStats
         self.phases: dict[str, PhaseStats] = {}
+        #: free-form host-dependent values (resource-sampler output,
+        #: worker wall seconds) — quarantined with phase host seconds
+        #: in the ``host_timings`` channel, never in counters
+        self.host_values: dict[str, float] = {}
         self._clock = clock
 
     def incr(self, name: str, value: int | float = 1) -> None:
@@ -157,6 +161,21 @@ class MetricsRecorder(Recorder):
 
     def phase(self, name: str) -> _TimedPhase:
         return _TimedPhase(self, name)
+
+    def record_host(self, name: str, value: float) -> None:
+        """Record one host-dependent value (RSS, CPU seconds, worker
+        wall) under ``name``.  Host values share the quarantined
+        ``host_timings`` export channel with phase wall seconds and are
+        never part of the deterministic counter view."""
+        self.host_values[name] = float(value)
+
+    def absorb_phase(self, name: str, calls: int, host_seconds: float) -> None:
+        """Fold externally-accumulated phase statistics (a worker
+        mini-recorder's) into this recorder — the merge primitive
+        :func:`repro.obs.spans.merge_telemetry` uses."""
+        stats = self.phases.setdefault(name, PhaseStats())
+        stats.calls += calls
+        stats.host_seconds += host_seconds
 
     # -- export -----------------------------------------------------------
 
@@ -173,9 +192,9 @@ class MetricsRecorder(Recorder):
         return dict(sorted(out.items()))
 
     def host_timings(self) -> dict[str, float]:
-        """Host wall seconds per phase — profiling only, never part of
-        the deterministic metrics dump."""
-        return {
-            name: stats.host_seconds
-            for name, stats in sorted(self.phases.items())
-        }
+        """Host wall seconds per phase plus any :meth:`record_host`
+        values — profiling only, never part of the deterministic
+        metrics dump."""
+        out = {name: stats.host_seconds for name, stats in self.phases.items()}
+        out.update(self.host_values)
+        return dict(sorted(out.items()))

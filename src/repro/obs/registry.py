@@ -19,6 +19,7 @@ from __future__ import annotations
 __all__ = [
     "METRIC_REGISTRY",
     "PHASE_REGISTRY",
+    "HOST_VALUE_REGISTRY",
     "TRACE_FIELD_REGISTRY",
     "is_registered",
     "trace_fields",
@@ -38,9 +39,6 @@ METRIC_REGISTRY: dict[str, str] = {
     "part.fm.rebalance_moves": "vertices moved by balance repair (rebalance_pair)",
     "part.refine.rounds": "conflict-free pair rounds executed by the refinement engine",
     "part.refine.tasks": "pair-refinement tasks executed (one FM pair each)",
-    "part.refine.workers": "refinement worker processes resolved for the run (use .max)",
-    "part.refine.ideal_speedup": "structural speedup bound: tasks / critical-path slots (use .max)",
-    "part.refine.utilization": "fraction of worker slots kept busy across pair rounds (use .max)",
     "part.core.lambda_hits": "edge λ-cache reads serving incremental gain/move queries",
     "part.core.gain_batches": "batch move_gains() queries answered by the vectorized core",
     "part.core.gain_batch_vertices": "total vertices evaluated across batch gain queries",
@@ -83,12 +81,18 @@ METRIC_REGISTRY: dict[str, str] = {
     "seq.wall_time": "modeled sequential wall time (seconds)",
     # -- bench harness ----------------------------------------------------
     "bench.rows": "result rows produced by the benchmark",
+    "bench.best_k": "winning machine count selected by a (k, b) search",
+    "bench.best_b": "winning balance factor selected by a (k, b) search",
     "bench.shape_checks_passed": "qualitative paper claims that held",
     "bench.shape_checks_failed": "qualitative paper claims that failed",
     "bench.brute_force_runs": "pre-simulation cells evaluated by brute force",
     "bench.heuristic_runs": "cells the Figure-3 heuristic actually ran",
     "bench.runs_saved": "pre-simulation runs the heuristic avoided",
     "bench.speedup_gap": "brute-force best speedup minus heuristic best",
+    # -- observability self-metrics (repro.obs) ----------------------------
+    "obs.trace.dropped": "oldest trace events evicted by ring-buffer wrap",
+    "obs.span.count": "completed spans in the merged span tree (all lanes)",
+    "obs.span.depth": "deepest span nesting in the merged tree (use .max)",
 }
 
 #: phase names (recorded as "<name>.calls" in counter views and as host
@@ -101,7 +105,34 @@ PHASE_REGISTRY: dict[str, str] = {
     "partition.refine": "one pairing + pairwise-FM improvement cycle",
     "partition.flatten": "super-gate flattening + assignment carry-over",
     "partition.rebalance": "load redistribution / final balance repair",
+    "refine.pair": "one pairwise-FM task (driver or pool worker lane)",
+    "presim.point": "one pre-simulation (k, b) grid point, end to end",
+    "presim.partition": "the partitioning step of one pre-sim point",
+    "presim.simulate": "the Time Warp step of one pre-sim point",
+    "sweep.cell": "one bench-grid cell (parse, partition, simulate)",
+    "tw.load": "stimulus/event loading before the Time Warp main loop",
     "tw.run": "the Time Warp main loop, load to termination",
+    "tw.verify": "committed-state verification against the oracle",
+    "seq.run": "the sequential reference simulation",
+}
+
+
+#: host-only value names (recorded via
+#: :meth:`~repro.obs.recorder.MetricsRecorder.record_host`, exported in
+#: the quarantined ``host_timings`` channel).  These are intentionally
+#: *not* accepted by :func:`is_registered`: they must never appear in
+#: the deterministic counter body, and the test suite pins that.
+HOST_VALUE_REGISTRY: dict[str, str] = {
+    "part.refine.workers": "refinement worker processes resolved for the run",
+    "part.refine.ideal_speedup": "structural speedup bound: tasks / "
+                                 "critical-path slots at this worker count",
+    "part.refine.utilization": "fraction of worker slots kept busy across "
+                               "pair rounds",
+    "obs.sampler.peak_rss_kb": "peak resident set size (VmHWM) sampled, kB",
+    "obs.sampler.cpu_seconds": "user+system CPU of the process and reaped "
+                               "children at the last sample",
+    "obs.sampler.children.peak": "peak live worker child processes observed",
+    "obs.sampler.samples": "resource-sampler polls taken during the run",
 }
 
 

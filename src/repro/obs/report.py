@@ -26,6 +26,7 @@ from .analyze import (
     message_locality,
     reconstruct_cascades,
     rollback_hotspots,
+    trace_dropped,
 )
 from .metrics import counters_view, strip_volatile
 
@@ -44,6 +45,7 @@ _SUMMARY_COUNTERS = (
     "tw.wall_time",
     "tw.speedup",
     "part.cut_size",
+    "obs.trace.dropped",
 )
 
 
@@ -66,6 +68,10 @@ class RunReport:
     locality: LocalityMatrix | None = None
     gvt: GvtProgress | None = None
     commit_efficiency: float | None = None
+    #: events the bounded ring evicted before the dump — from the
+    #: metrics document's ``obs.trace.dropped`` counter when available,
+    #: else inferred from the first surviving sequence number
+    trace_dropped: int = 0
 
     def render(self) -> str:
         """Deterministic markdown report (byte-identical for identical
@@ -76,6 +82,13 @@ class RunReport:
                 f"{k}={v}" for k, v in sorted(self.params.items())) )
             lines.append("")
         lines.append(f"trace events analyzed: {self.trace_events}")
+        if self.trace_dropped:
+            lines.append("")
+            lines.append(
+                f"**WARNING: trace truncated** — the bounded ring evicted "
+                f"{self.trace_dropped} oldest event(s) "
+                f"(`obs.trace.dropped`); trace-derived tables below "
+                f"undercount the run's start (raise `--trace-capacity`)")
         lines.append("")
 
         if self.counters:
@@ -192,6 +205,7 @@ def analyze_run(
     params: dict = {}
     counters: dict = {}
     commit_efficiency = None
+    dropped = trace_dropped(events)
     if metrics is not None:
         doc = strip_volatile(metrics)
         name = doc.get("name", name)
@@ -201,6 +215,10 @@ def analyze_run(
         committed = counters.get("tw.committed_events")
         if processed:
             commit_efficiency = committed / processed if committed is not None else None
+        # the counter is authoritative when the run recorded it — the
+        # seq-gap inference only covers metrics-less traces
+        if "obs.trace.dropped" in counters:
+            dropped = int(counters["obs.trace.dropped"])
     return RunReport(
         name=name,
         params=params,
@@ -211,4 +229,5 @@ def analyze_run(
         locality=message_locality(events),
         gvt=gvt_progress(events),
         commit_efficiency=commit_efficiency,
+        trace_dropped=dropped,
     )

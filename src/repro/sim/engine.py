@@ -71,11 +71,18 @@ def run_sequential_baseline(
     events: Sequence[InputEvent],
     spec: ClusterSpec,
     record_activity: bool = False,
+    recorder: Recorder = NULL_RECORDER,
 ) -> tuple[SequentialSimulator, float]:
-    """Run the reference simulator; returns it and its modeled wall time."""
+    """Run the reference simulator; returns it and its modeled wall time.
+
+    ``recorder`` brackets the run in a ``seq.run`` phase/span — the
+    presim searches pass their driver recorder here so the one-time
+    baseline shows up alongside the per-point worker spans.
+    """
     sim = SequentialSimulator(circuit, record_activity=record_activity)
     sim.add_inputs(events)
-    stats = sim.run()
+    with recorder.phase("seq.run"):
+        stats = sim.run()
     return sim, stats.gate_evals * spec.event_cost
 
 
@@ -139,19 +146,25 @@ def run_partitioned(
         seq_wall = sequential.stats.gate_evals * spec.event_cost
     engine = TimeWarpEngine(circuit, clusters, lp_machine, spec, config,
                             trace=trace, progress=progress)
-    engine.load_inputs(events)
+    with recorder.phase("tw.load"):
+        engine.load_inputs(events)
     with recorder.phase("tw.run"):
         stats = engine.run()
     stats.sequential_wall_time = seq_wall
     stats.speedup = seq_wall / stats.wall_time if stats.wall_time > 0 else 0.0
     verified = False
     if verify:
-        engine.verify_against_sequential(sequential)
+        with recorder.phase("tw.verify"):
+            engine.verify_against_sequential(sequential)
         verified = True
     if recorder.enabled:
         for name, value in stats.to_counters().items():
             recorder.incr(name, value)
         recorder.incr("seq.gate_evals", sequential.stats.gate_evals)
+        if trace is not None:
+            # deterministic (eviction depends only on modeled event
+            # volume vs capacity); 0 certifies the trace is complete
+            recorder.incr("obs.trace.dropped", trace.dropped)
     return SimulationReport(
         num_machines=spec.num_machines,
         sequential_wall_time=seq_wall,

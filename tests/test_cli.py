@@ -161,7 +161,7 @@ class TestObsCommands:
     def test_selfcheck(self):
         code, text = run("obs", "selfcheck")
         assert code == 0
-        assert "obs selfcheck: ok (8 checks)" in text
+        assert "obs selfcheck: ok (18 checks)" in text
 
     def test_psim_progress_keeps_results(self, vfile):
         code, text = run(

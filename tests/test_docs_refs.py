@@ -81,11 +81,16 @@ def test_linter_catches_empty_wildcard(tmp_path):
 def test_derived_suffixes_pass():
     names, families = check_docs._registry_names()
     assert check_docs.metric_complaint(
-        "part.refine.workers.max", names, families) is None
+        "part.ml.reduction.max", names, families) is None
     assert check_docs.metric_complaint(
         "partition.coarsen.calls", names, families) is None
     assert check_docs.metric_complaint(
         "part.ml.level_cut", names, families) is None
+    # host-value names (quarantined channel) are documented too
+    assert check_docs.metric_complaint(
+        "part.refine.workers", names, families) is None
+    assert check_docs.metric_complaint(
+        "obs.sampler.peak_rss_kb", names, families) is None
 
 
 def test_cli_flag_universe_includes_subcommands():

@@ -49,7 +49,7 @@ _MODULE_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
 _FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
 _ADD_ARGUMENT_RE = re.compile(r"add_argument\(\s*['\"](--[a-z][a-z0-9-]*)['\"]")
 _METRIC_RE = re.compile(
-    r"(?<![\w.])(?:part|tw|seq|sim|bench|partition)"
+    r"(?<![\w.])(?:part|tw|seq|sim|bench|partition|obs|refine|presim|sweep)"
     r"\.(?:[a-z0-9_]+\.)*(?:[a-z0-9_]+|\*)"
 )
 
@@ -68,10 +68,16 @@ def referenced_tokens(text: str) -> tuple[set[str], set[str], set[str]]:
 
 
 def _registry_names() -> tuple[set[str], set[str]]:
-    """(all registered metric + phase names, their two-segment families)."""
-    from repro.obs.registry import METRIC_REGISTRY, PHASE_REGISTRY
+    """(all registered metric + phase + host-value names, their
+    two-segment families)."""
+    from repro.obs.registry import (
+        HOST_VALUE_REGISTRY,
+        METRIC_REGISTRY,
+        PHASE_REGISTRY,
+    )
 
-    names = set(METRIC_REGISTRY) | set(PHASE_REGISTRY)
+    names = (set(METRIC_REGISTRY) | set(PHASE_REGISTRY)
+             | set(HOST_VALUE_REGISTRY))
     families = {".".join(n.split(".")[:2]) for n in names}
     return names, families
 
@@ -93,9 +99,9 @@ def metric_complaint(token: str, names: set[str],
         return f"wildcard `{token}` matches no registered metric or phase"
     if ".".join(token.split(".")[:2]) not in families:
         return None  # attribute chain / file name, not a metric
-    if is_registered(token) or token in PHASE_REGISTRY:
+    if is_registered(token) or token in PHASE_REGISTRY or token in names:
         return None
-    return f"unregistered metric or phase `{token}`"
+    return f"unregistered metric, phase or host value `{token}`"
 
 
 def resolves(dotted: str) -> bool:

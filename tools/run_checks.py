@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""One-shot pre-PR gate: every fast repository check, chained.
+
+Runs, in order, stopping at the first failure:
+
+1. the tier-1 test suite (``pytest tests/ -x -q`` with ``src`` on the
+   path) — the correctness gate ROADMAP.md names;
+2. the documentation reference linter (``tools/check_docs.py``) —
+   every ``repro.*`` path, CLI flag and metric/phase/host-value name
+   in the docs must resolve;
+3. the observability selfcheck (``python -m repro obs selfcheck``) —
+   analyzers, span-tree invariants, worker-lane merge and the
+   Chrome-trace exporter on built-in artifacts.
+
+Usage::
+
+    python tools/run_checks.py            # run everything
+    python tools/run_checks.py --list     # show the steps and exit
+
+Exit code 0 means every step passed (the README names this as the
+command to run before opening a PR).  Benchmarks are *not* included —
+they take minutes; run ``pytest benchmarks/ --benchmark-only`` when a
+change touches measured claims.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: (label, argv, extra PYTHONPATH entries) for each gate step
+STEPS: list[tuple[str, list[str], tuple[str, ...]]] = [
+    ("tier-1 tests",
+     [sys.executable, "-m", "pytest", "tests/", "-x", "-q"],
+     ("src",)),
+    ("docs references",
+     [sys.executable, "tools/check_docs.py"],
+     ()),
+    ("obs selfcheck",
+     [sys.executable, "-m", "repro", "obs", "selfcheck"],
+     ("src",)),
+]
+
+
+def run_step(label: str, argv: list[str],
+             pythonpath: tuple[str, ...]) -> int:
+    env = dict(os.environ)
+    if pythonpath:
+        extra = os.pathsep.join(str(REPO_ROOT / p) for p in pythonpath)
+        prior = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (f"{extra}{os.pathsep}{prior}" if prior
+                             else extra)
+    print(f"==> {label}: {' '.join(argv)}")
+    t0 = time.perf_counter()
+    code = subprocess.call(argv, cwd=REPO_ROOT, env=env)
+    dt = time.perf_counter() - t0
+    status = "ok" if code == 0 else f"FAILED (exit {code})"
+    print(f"<== {label}: {status} in {dt:.1f}s\n")
+    return code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--list", action="store_true",
+                        help="print the steps without running them")
+    args = parser.parse_args(argv)
+    if args.list:
+        for label, step_argv, _ in STEPS:
+            print(f"{label}: {' '.join(step_argv)}")
+        return 0
+    for label, step_argv, pythonpath in STEPS:
+        code = run_step(label, step_argv, pythonpath)
+        if code != 0:
+            print(f"gate failed at step: {label}")
+            return code
+    print(f"all {len(STEPS)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
