@@ -62,6 +62,7 @@ def _evaluate_cell(
     refine_workers: int = 1,
     algorithm: str = "design",
     collect: bool = False,
+    refiner: str = "fm",
 ) -> tuple[GridCell, dict | None]:
     """Worker: compile, partition, pre-simulate one grid cell.
 
@@ -84,12 +85,12 @@ def _evaluate_cell(
         if algorithm == "multilevel":
             part = multilevel_flat_partition(
                 netlist, k, b, seed=seed, workers=refine_workers,
-                recorder=wrec,
+                refiner=refiner, recorder=wrec,
             )
         else:
             part = design_driven_partition(
                 netlist, k=k, b=b, seed=seed, pairing=pairing,
-                workers=refine_workers, recorder=wrec,
+                workers=refine_workers, refiner=refiner, recorder=wrec,
             )
         clusters, machines = part.to_simulation()
         report = run_partitioned(
@@ -120,6 +121,7 @@ def run_presim_grid(
     workers: int | None = None,
     refine_workers: int = 1,
     algorithm: str = "design",
+    refiner: str = "fm",
     recorder: Recorder = NULL_RECORDER,
 ) -> list[GridCell]:
     """Run the (k, b) pre-simulation grid, optionally across processes.
@@ -143,7 +145,8 @@ def run_presim_grid(
     ``algorithm`` selects each cell's partition backend — ``"design"``
     (default) or ``"multilevel"``
     (:func:`~repro.core.multilevel.multilevel_flat_partition`, see
-    ``docs/multilevel.md``).
+    ``docs/multilevel.md``).  ``refiner`` selects the backend's
+    improvement engine, ``"fm"`` or ``"batch"`` (``docs/refinement.md``).
 
     ``recorder`` collects per-cell worker telemetry (a ``sweep.cell``
     span per cell carrying that cell's partition + Time Warp counters),
@@ -154,7 +157,7 @@ def run_presim_grid(
     cells = [(k, b) for k in ks for b in bs]
     args = [
         (source, top, k, b, n_vectors, seed, pairing, refine_workers,
-         algorithm, collect)
+         algorithm, collect, refiner)
         for k, b in cells
     ]
     if resolved <= 1:

@@ -67,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pa.add_argument("--pairing", default="gain",
                     choices=("random", "exhaustive", "cut", "gain"))
+    pa.add_argument("--refiner", choices=("fm", "batch"), default="fm",
+                    help="refinement engine: heap FM or the data-parallel "
+                         "batch refiner (design and multilevel algorithms; "
+                         "see docs/refinement.md)")
     pa.add_argument("--refine-workers", type=int, default=None,
                     metavar="N",
                     help="refinement worker processes (design and "
@@ -115,6 +119,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="refinement worker processes for the partitioning "
                          "step (default: REPRO_WORKERS env or serial); "
                          "never changes the partition or the simulation")
+    ps.add_argument("--refiner", choices=("fm", "batch"), default="fm",
+                    help="refinement engine for the partitioning step "
+                         "(see docs/refinement.md)")
     ps.add_argument("--conservative", action="store_true",
                     help="idealized conservative mode (no rollbacks)")
     ps.add_argument("--metrics", type=Path, default=None, metavar="PATH",
@@ -158,6 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
                     default="design",
                     help="partition backend per grid cell "
                          "(default: design)")
+    sw.add_argument("--refiner", choices=("fm", "batch"), default="fm",
+                    help="refinement engine per grid cell "
+                         "(see docs/refinement.md)")
     sw.add_argument("--metrics-out", type=Path, default=None, metavar="PATH",
                     help="write the grid as a schema-versioned metrics "
                          "JSON document (kind=sweep, with per-cell "
@@ -179,6 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
                     default="design",
                     help="partition backend per (k, b) candidate "
                          "(default: design)")
+    se.add_argument("--refiner", choices=("fm", "batch"), default="fm",
+                    help="refinement engine per candidate partition "
+                         "(see docs/refinement.md)")
     se.add_argument("--refine-workers", type=int, default=None,
                     metavar="N",
                     help="refinement worker processes per candidate "
@@ -353,11 +366,12 @@ def _cmd_partition(args, out) -> int:
 
         r = design_driven_partition(
             netlist, k=args.k, b=args.b, seed=args.seed, pairing=args.pairing,
-            workers=args.refine_workers,
+            workers=args.refine_workers, refiner=args.refiner,
             recorder=recorder if recorder is not None else NULL_RECORDER,
         )
         cut, loads = r.cut_size, r.part_weights.tolist()
-        out.write(f"algorithm : design-driven (pairing={args.pairing})\n")
+        out.write(f"algorithm : design-driven (pairing={args.pairing}, "
+                  f"refiner={args.refiner})\n")
         out.write(f"balanced  : {r.balanced} (flatten steps: {r.flatten_steps})\n")
         gate_assignment = r.gate_assignment()
         if args.save is not None:
@@ -371,7 +385,7 @@ def _cmd_partition(args, out) -> int:
 
         r = multilevel_flat_partition(
             netlist, args.k, args.b, seed=args.seed,
-            workers=args.refine_workers,
+            workers=args.refine_workers, refiner=args.refiner,
             recorder=recorder if recorder is not None else NULL_RECORDER,
         )
         cut, loads = r.cut_size, r.part_weights.tolist()
@@ -412,7 +426,7 @@ def _cmd_partition(args, out) -> int:
             kind="partition",
             params={"file": str(args.file), "algorithm": args.algorithm,
                     "k": args.k, "b": args.b, "seed": args.seed,
-                    "pairing": args.pairing},
+                    "pairing": args.pairing, "refiner": args.refiner},
             counters=counters,
             recorder=recorder,
             generated_at=_stamp(),
@@ -494,6 +508,7 @@ def _cmd_psim(args, out) -> int:
         part = design_driven_partition(netlist, k=args.k, b=args.b,
                                        seed=args.seed,
                                        workers=args.refine_workers,
+                                       refiner=args.refiner,
                                        recorder=recorder)
         k = args.k
     clusters, machines = part.to_simulation()
@@ -529,6 +544,7 @@ def _cmd_psim(args, out) -> int:
             kind="run",
             params={"file": str(args.file), "k": k, "b": part.b,
                     "vectors": args.vectors, "seed": args.seed,
+                    "refiner": args.refiner,
                     "lazy_cancellation": not args.aggressive,
                     "conservative": args.conservative},
             counters={"part.cut_size": part.cut_size,
@@ -565,6 +581,7 @@ def _cmd_sweep(args, out) -> int:
         top=args.top, workers=args.workers,
         refine_workers=args.refine_workers,
         algorithm=args.algorithm,
+        refiner=args.refiner,
         recorder=recorder,
     )
     _finish_sampler(sampler, recorder, out)
@@ -584,7 +601,8 @@ def _cmd_sweep(args, out) -> int:
             "sweep",
             kind="sweep",
             params={"file": str(args.file), "ks": args.ks, "bs": args.bs,
-                    "vectors": args.vectors, "seed": args.seed},
+                    "vectors": args.vectors, "seed": args.seed,
+                    "algorithm": args.algorithm, "refiner": args.refiner},
             counters={"bench.rows": len(cells)},
             rows=[c.to_row() for c in cells],
             recorder=recorder,
@@ -615,13 +633,14 @@ def _cmd_search(args, out) -> int:
                                  refine_workers=args.refine_workers,
                                  workers=args.presim_workers,
                                  algorithm=args.algorithm,
+                                 refiner=args.refiner,
                                  recorder=recorder)
     else:
         study = brute_force_presim(
             netlist, events, ks=tuple(range(2, args.max_k + 1)),
             seed=args.seed, refine_workers=args.refine_workers,
             workers=args.presim_workers, algorithm=args.algorithm,
-            recorder=recorder,
+            refiner=args.refiner, recorder=recorder,
         )
     _finish_sampler(sampler, recorder, out)
     for p in study.points:
@@ -639,7 +658,8 @@ def _cmd_search(args, out) -> int:
             params={"file": str(args.file), "max_k": args.max_k,
                     "vectors": args.vectors, "seed": args.seed,
                     "heuristic": args.heuristic,
-                    "algorithm": args.algorithm},
+                    "algorithm": args.algorithm,
+                    "refiner": args.refiner},
             counters={"bench.rows": len(study.points),
                       "bench.best_k": best.k, "bench.best_b": best.b},
             rows=[{"k": p.k, "b": p.b, "cut": p.cut_size,

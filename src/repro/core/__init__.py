@@ -18,9 +18,19 @@ Public surface:
 * :func:`multilevel_kway_partition` / :func:`direct_kway_partition` /
   :func:`multilevel_flat_partition` — the production multilevel k-way
   engine and its flat comparator (see ``docs/multilevel.md``).
+* :func:`batch_refine` / :data:`REFINERS` — the data-parallel boundary
+  refiner selectable as ``refiner="batch"`` on every partition entry
+  point (see ``docs/refinement.md``).
 """
 
 from .balance import BalanceConstraint, PAPER_B_VALUES, PAPER_K_VALUES
+from .batch_refine import (
+    REFINERS,
+    BatchRefineResult,
+    batch_refine,
+    cut_degrees,
+    validate_refiner,
+)
 from .cone import cone_partition, input_cones, build_cluster_dag
 from .fm import FMPassResult, refine_pair, rebalance_pair
 from .pairing import PAIRING_STRATEGIES, pairing_strategy, estimate_pair_gain
@@ -61,6 +71,11 @@ __all__ = [
     "BalanceConstraint",
     "PAPER_B_VALUES",
     "PAPER_K_VALUES",
+    "REFINERS",
+    "BatchRefineResult",
+    "batch_refine",
+    "cut_degrees",
+    "validate_refiner",
     "cone_partition",
     "input_cones",
     "build_cluster_dag",

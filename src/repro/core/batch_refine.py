@@ -1,0 +1,476 @@
+"""Batch data-parallel boundary refinement (``refiner="batch"``).
+
+The heap-FM refiner (:mod:`repro.core.fm`) moves one vertex at a time:
+every move is a heap pop, a state update and a neighbour gain refresh,
+so the critical path is as long as the move sequence.  That is the
+right trade at netlist granularity (hundreds of vertices) but memory-
+bound at the 100k+ vertex scale the flat benchmarks run.  This module
+is the data-parallel alternative on the same vectorized substrate
+(design reference: GPU-resident refinement in "Hypergraph Partitioning
+on GPU with Distinct Incident Hyperedges and Size Constraints",
+PAPERS.md).  Each round is three vectorized steps:
+
+1. **gather** — the cut boundary (every vertex on a λ>1 hyperedge,
+   maintained incrementally as a per-vertex cut-edge degree) is scored
+   in one :meth:`~repro.hypergraph.partition_state.PartitionState.move_gains`
+   CSR batch query per destination block: a ``(k, |boundary|)`` exact
+   integer gain matrix with no per-vertex Python work;
+2. **select** — a conflict-free move batch is chosen vectorially.
+   Candidates (the lexicographically best (cut, SOED)-improving
+   destination per vertex) are ranked by ``(-cut gain, -soed gain,
+   vertex id)``; a scatter-min of ranks onto incident hyperedges keeps
+   a candidate only when, on every edge it touches, it holds the best
+   rank *or shares the rank-winner's destination* — so each hyperedge
+   sees at most one destination move, which makes the round-start gain
+   predictions a lower bound on the realized gain (same-destination
+   groups are superadditive).  Formula-1 balance is then enforced by
+   prefix-sum weight
+   filters: per destination block, cumulative added weight (in rank
+   order) may not exceed ``hi - w0[p]``; per source block, cumulative
+   removed weight may not exceed ``w0[p] - lo`` — both against the
+   round-start weights ``w0``, so the final weights provably stay
+   inside ``[lo, hi]`` wherever they started inside it (and can only
+   move *toward* the window where they started outside);
+3. **apply** — the surviving batch lands in one
+   :meth:`~repro.hypergraph.partition_state.PartitionState.move_batch`
+   scatter, and the boundary is re-derived incrementally from the
+   edges whose cut status flipped.
+
+Greedy rounds repeat to a fixpoint with a no-improvement early-out;
+every applied move strictly improves the lexicographic
+(cut, connectivity) objective — positive cut gain, or zero cut gain
+with positive SOED gain (peeling a spanned edge one block closer to
+uncut, the standard plateau escape).  At the fixpoint the refiner
+recovers FM's one missing power — crossing negative-gain valleys — in
+batch form: it snapshots the state, *kicks* the least-damaging
+non-improving batch through the same race and balance filters,
+re-descends greedily (kicked vertices frozen for the first descent so
+it reorganizes around the perturbation instead of undoing it), and
+keeps the result only when the objective ends strictly better than the
+snapshot, restoring it otherwise.  The cut is therefore monotone
+non-increasing across the whole call, accepted kicks strictly decrease
+the potential, and termination is guaranteed.  The refiner is
+single-process and free of iteration-order ambiguity, so — unlike the
+pairwise engine, which *earns* its determinism with snapshots and
+ordered replay — any worker count trivially produces the identical
+partition.  ``docs/refinement.md`` carries the full taxonomy,
+correctness argument and decision guide.
+
+Observability: ``part.batch.*`` counters under the
+``partition.batch_refine`` phase (:mod:`repro.obs.registry`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError, PartitionError
+from ..hypergraph.partition_state import PartitionState
+from ..obs.recorder import NULL_RECORDER, Recorder
+
+__all__ = [
+    "REFINERS",
+    "BatchRefineResult",
+    "batch_refine",
+    "cut_degrees",
+    "validate_refiner",
+]
+
+#: selectable refinement modes (``refiner=`` / CLI ``--refiner``)
+REFINERS = ("fm", "batch")
+
+#: a kick perturbs the best ``1/_KICK_FRACTION`` of the boundary's
+#: non-improving candidates (at least one vertex)
+_KICK_FRACTION = 16
+
+
+def validate_refiner(name: str) -> str:
+    """Check a ``refiner=`` selector; returns it for chaining."""
+    if name not in REFINERS:
+        raise ConfigError(
+            f"unknown refiner {name!r}; expected one of {REFINERS}"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class BatchRefineResult:
+    """Outcome of one :func:`batch_refine` call.
+
+    ``rounds`` counts gather/select/apply rounds that applied at least
+    one move; ``moves`` the vertices moved (both exclude rolled-back
+    kick explorations); ``gain`` the total realized cut decrease
+    (``cut_before - cut_size``).
+    """
+
+    rounds: int
+    moves: int
+    gain: int
+    cut_size: int
+
+
+def cut_degrees(state: PartitionState) -> np.ndarray:
+    """Per-vertex count of incident cut (λ>1) hyperedges.
+
+    ``cut_degrees(state) > 0`` is the refinement boundary.  Built with
+    one CSR gather + scatter-add over the cut edges' pins;
+    :func:`batch_refine` maintains it incrementally afterwards from
+    :meth:`~repro.hypergraph.partition_state.PartitionState.move_batch`'s
+    flipped-edge report.
+    """
+    deg = np.zeros(state.hg.num_vertices, dtype=np.int64)
+    cut_edges = np.flatnonzero(state.edge_lambda > 1)
+    if len(cut_edges):
+        pins, _ = state.hg.edges_pins(cut_edges)
+        np.add.at(deg, pins, 1)
+    return deg
+
+
+def batch_refine(
+    state: PartitionState,
+    constraint,
+    blocks: Sequence[int] | None = None,
+    max_rounds: int = 1024,
+    balance_fallback: bool = False,
+    max_kicks: int = 8,
+    recorder: Recorder = NULL_RECORDER,
+) -> BatchRefineResult:
+    """Refine ``state`` in place with data-parallel move batches.
+
+    Parameters
+    ----------
+    state:
+        The partition to improve; mutated in place.
+    constraint:
+        Anything with ``bounds(total_weight) -> (lo, hi)`` — a
+        :class:`~repro.core.balance.BalanceConstraint` or the recursive
+        splitter's subset window.  Only ``bounds`` is consulted.
+    blocks:
+        Optional block restriction: only vertices currently in these
+        blocks move, and only into these blocks (the recursive
+        splitter refines ``(0, 1)`` of a local 3-way state whose third
+        block is frozen).  ``None`` means all ``state.k`` blocks.
+    max_rounds:
+        Safety cap on gather/select/apply rounds; the natural exit is
+        the fixpoint (a round with no applicable (cut, soed)-improving
+        move).
+    balance_fallback:
+        When True, a round whose every race survivor is rejected by the
+        balance filter bans those (vertex, target) pairs and re-selects,
+        so vertices fall back to their next-best improving destination
+        instead of stalling (``part.batch.retries`` counts the
+        re-selections).  Pays when the filter binds — heavy
+        cluster-grade vertices against tight windows, i.e. coarse
+        multilevel levels — and is off by default because on light-
+        vertex boundaries a first-choice stall is almost always a
+        genuine fixpoint and the retries are churn.
+    max_kicks:
+        At the greedy fixpoint, up to this many perturbation attempts:
+        a snapshot is taken, the least-damaging non-improving batch is
+        forced through (the batch analogue of FM's tentative negative-
+        gain moves), the greedy descent re-runs (kicked vertices frozen
+        for its first pass), and the snapshot is restored unless the
+        lexicographic (cut, SOED) objective strictly improved.  ``0``
+        disables the perturbation loop.
+    recorder:
+        Observability sink: ``part.batch.*`` counters inside a
+        ``partition.batch_refine`` phase.  Never changes the result.
+
+    The cut never increases (greedy moves strictly improve the
+    lexicographic (cut, connectivity) objective, and a kick's
+    exploration is rolled back unless it ends strictly better than the
+    snapshot), and any block whose round-start weight satisfies its
+    bound still satisfies it afterwards.  Deterministic — and trivially
+    identical at any worker count, since no worker pool is involved.
+    """
+    with recorder.phase("partition.batch_refine"):
+        result = _batch_refine(state, constraint, blocks, max_rounds,
+                               balance_fallback, max_kicks, recorder)
+    if recorder.enabled:
+        recorder.incr("part.batch.rounds", result.rounds)
+        recorder.incr("part.batch.moves", result.moves)
+        recorder.incr("part.batch.gain", result.gain)
+    return result
+
+
+def _batch_refine(
+    state: PartitionState,
+    constraint,
+    blocks: Sequence[int] | None,
+    max_rounds: int,
+    balance_fallback: bool,
+    max_kicks: int,
+    recorder: Recorder,
+) -> BatchRefineResult:
+    hg = state.hg
+    targets = sorted(set(int(p) for p in blocks)) if blocks is not None \
+        else list(range(state.k))
+    if blocks is not None:
+        for p in targets:
+            if not (0 <= p < state.k):
+                raise PartitionError(
+                    f"batch_refine block {p} out of range [0,{state.k})"
+                )
+    cut_before = state.cut_size
+    if len(targets) < 2 or hg.num_edges == 0:
+        return BatchRefineResult(0, 0, 0, cut_before)
+    targets_arr = np.asarray(targets, dtype=np.int64)
+    lo, hi = constraint.bounds(hg.total_weight)
+    cut_deg = cut_degrees(state)
+    rounds = 0
+    moves = 0
+    floor = np.iinfo(np.int64).min // 4
+
+    def race(cand_v: np.ndarray, cand_t: np.ndarray) -> np.ndarray:
+        # conflict-free selection: scatter-min each candidate's rank
+        # onto its incident hyperedges; a candidate survives only when,
+        # on every one of its edges, it either holds the winning rank
+        # or shares the winner's destination block.  Distinct
+        # destinations on one hyperedge would invalidate each other's
+        # gains, so at most one destination moves per edge — while
+        # same-destination groups are superadditive (the target block
+        # lands on the edge once, every emptied source still empties),
+        # so the realized gain can only meet or beat the prediction,
+        # whatever the prediction's sign
+        n_cand = len(cand_v)
+        edges, deg = hg.vertices_edges(cand_v)
+        if not len(edges):
+            return np.ones(n_cand, dtype=bool)
+        rank_of = np.repeat(np.arange(n_cand, dtype=np.int64), deg)
+        edge_best = np.full(hg.num_edges, n_cand, dtype=np.int64)
+        np.minimum.at(edge_best, edges, rank_of)
+        ok = cand_t[rank_of] == cand_t[edge_best[edges]]
+        wins = np.zeros(n_cand, dtype=np.int64)
+        np.add.at(wins, rank_of, ok)
+        return wins == deg
+
+    def balance_keep(sel_v: np.ndarray, sel_t: np.ndarray) -> np.ndarray:
+        # prefix-sum weight filters in rank order against the current
+        # weights w0.  Destinations may gain at most hi - w0[p];
+        # sources may lose at most w0[p] - lo.  Together:
+        # lo <= w0[p] - removed[p] <= w0[p] + added[p] - removed[p]
+        #    = new w[p] <= w0[p] + added[p] <= hi
+        # for every block that started inside the window (blocks that
+        # started outside can only move toward it).
+        sel_w = hg.vertex_weight[sel_v]
+        w0 = state.part_weight
+        keep = np.ones(len(sel_v), dtype=bool)
+        for p in targets:
+            dst = sel_t == p
+            if dst.any():
+                keep[dst] &= np.cumsum(sel_w[dst]) <= hi - w0[p]
+        src_of = state.part[sel_v]
+        for p in targets:
+            src = keep & (src_of == p)
+            if src.any():
+                ok = np.cumsum(sel_w[src]) <= w0[p] - lo
+                idx = np.flatnonzero(src)
+                keep[idx[~ok]] = False
+        return keep
+
+    def apply_batch(sel_v: np.ndarray, sel_t: np.ndarray,
+                    sel_g: np.ndarray, sel_s: np.ndarray) -> None:
+        # one scatter, then re-derive the boundary from the edges whose
+        # cut status flipped
+        nonlocal rounds, moves
+        soed_before = state.connectivity
+        gain, touched, old_lam = state.move_batch(sel_v, sel_t)
+        predicted = int(sel_g.sum())
+        if gain < predicted:
+            raise PartitionError(
+                f"batch_refine gain bound violated: realized gain "
+                f"{gain} < predicted {predicted} (conflict filter bug)"
+            )
+        if soed_before - state.connectivity < int(sel_s.sum()):
+            raise PartitionError(
+                "batch_refine soed gain bound violated "
+                "(conflict filter bug)"
+            )
+        new_lam = state.edge_lambda[touched]
+        for flipped, delta in (
+            (touched[(old_lam == 1) & (new_lam > 1)], 1),
+            (touched[(old_lam > 1) & (new_lam == 1)], -1),
+        ):
+            if len(flipped):
+                pins, _ = hg.edges_pins(flipped)
+                np.add.at(cut_deg, pins, delta)
+        rounds += 1
+        moves += len(sel_v)
+
+    def gather(boundary: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        # one batch gain query per destination block — the
+        # (len(targets), |boundary|) exact integer cut-gain matrix,
+        # plus the matching connectivity (SOED) gains as the secondary
+        # objective that escapes cut plateaus
+        gain_mat = np.stack(
+            [state.move_gains(boundary, p) for p in targets]
+        )
+        soed_mat = np.stack(
+            [state.move_soed_gains(boundary, p) for p in targets]
+        )
+        return gain_mat, soed_mat
+
+    def current_boundary(frozen: np.ndarray | None = None) -> np.ndarray:
+        boundary = np.flatnonzero(cut_deg > 0)
+        if blocks is not None and len(boundary):
+            boundary = boundary[np.isin(state.part[boundary], targets_arr)]
+        if frozen is not None and len(boundary):
+            boundary = boundary[~frozen[boundary]]
+        return boundary
+
+    def greedy(frozen: np.ndarray | None = None) -> None:
+        # improving rounds (positive cut gain, or zero cut gain with
+        # positive SOED gain) to a fixpoint
+        nonlocal rounds
+        while rounds < max_rounds:
+            boundary = current_boundary(frozen)
+            if not len(boundary):
+                return
+            if recorder.enabled:
+                recorder.observe_max("part.batch.boundary", len(boundary))
+            gain_mat, soed_mat = gather(boundary)
+            # scale cut gains past the soed range so one argmax
+            # resolves the lexicographic (cut, soed) objective; any
+            # (vertex, target) pair the balance filter rejects in a
+            # zero-move attempt is banned (score floored) and the
+            # selection retried when balance_fallback is on
+            big = 2 * int(np.abs(soed_mat).max(initial=0)) + 1
+            score = gain_mat * big + soed_mat
+            ar = np.arange(len(boundary))
+            sel_v = np.empty(0, dtype=np.int64)
+            first_attempt = True
+            while True:
+                # best unbanned destination per vertex (own block
+                # scores (0, 0), so it can never win a strictly-
+                # improving race; argmax takes the lowest target index
+                # on ties)
+                best_idx = np.argmax(score, axis=0)
+                best_gain = gain_mat[best_idx, ar]
+                best_soed = soed_mat[best_idx, ar]
+                pos = ((best_gain > 0)
+                       | ((best_gain == 0) & (best_soed > 0))) \
+                    & (score[best_idx, ar] > floor)
+                cand_b = np.flatnonzero(pos)
+                cand_v = boundary[pos]
+                cand_ti = best_idx[pos]
+                cand_t = targets_arr[cand_ti]
+                cand_g = best_gain[pos]
+                cand_s = best_soed[pos]
+                n_cand = len(cand_v)
+                if recorder.enabled and first_attempt:
+                    recorder.incr("part.batch.candidates", n_cand)
+                first_attempt = False
+                if not n_cand:
+                    break  # fixpoint: no improving move exists
+                # rank candidates: highest cut gain first, then highest
+                # soed gain, lowest vertex id on ties — the
+                # deterministic priority the edge race resolves by
+                order = np.lexsort((cand_v, -cand_s, -cand_g))
+                cand_b, cand_ti = cand_b[order], cand_ti[order]
+                cand_v, cand_t = cand_v[order], cand_t[order]
+                cand_g, cand_s = cand_g[order], cand_s[order]
+                selected = race(cand_v, cand_t)
+                if recorder.enabled:
+                    recorder.incr("part.batch.conflicts",
+                                  int(n_cand - selected.sum()))
+                sel_v = cand_v[selected]
+                sel_t = cand_t[selected]
+                sel_g = cand_g[selected]
+                sel_s = cand_s[selected]
+                keep = balance_keep(sel_v, sel_t)
+                if recorder.enabled:
+                    recorder.incr("part.batch.balance_dropped",
+                                  int(len(sel_v) - keep.sum()))
+                sel_v, sel_t = sel_v[keep], sel_t[keep]
+                sel_g, sel_s = sel_g[keep], sel_s[keep]
+                if len(sel_v) or not balance_fallback:
+                    break  # non-empty batch to apply, or no-retry mode
+                # balance rejected every race survivor (the rank-0
+                # winner included).  Ban exactly those (vertex, target)
+                # pairs and re-select: the next attempt proposes each
+                # vertex's next-best improving destination.  Each
+                # attempt bans >= 1 of the <= k*|boundary| pairs, so
+                # the retry loop terminates.  (keep is all-False here,
+                # so the dropped set is exactly the race survivors)
+                score[cand_ti[selected], cand_b[selected]] = floor
+                if recorder.enabled:
+                    recorder.incr("part.batch.retries")
+            if not len(sel_v):
+                return  # no balance-admissible improving batch
+            apply_batch(sel_v, sel_t, sel_g, sel_s)
+
+    def kick() -> np.ndarray | None:
+        # perturbation: force the least-damaging non-improving batch —
+        # each boundary vertex's best *other* block (own block masked
+        # out), best `1/_KICK_FRACTION` of them by (cut, soed) score —
+        # through the same race and balance filters.  The subsequent
+        # greedy descent decides whether the valley led anywhere; the
+        # caller rolls back when it did not.
+        boundary = current_boundary()
+        if not len(boundary):
+            return None
+        gain_mat, soed_mat = gather(boundary)
+        big = 2 * int(np.abs(soed_mat).max(initial=0)) + 1
+        score = gain_mat * big + soed_mat
+        own = state.part[boundary]
+        score[targets_arr[:, None] == own[None, :]] = floor
+        best_idx = np.argmax(score, axis=0)
+        ar = np.arange(len(boundary))
+        valid = score[best_idx, ar] > floor
+        cand_v = boundary[valid]
+        cand_t = targets_arr[best_idx[valid]]
+        cand_g = gain_mat[best_idx, ar][valid]
+        cand_s = soed_mat[best_idx, ar][valid]
+        if not len(cand_v):
+            return None
+        order = np.lexsort((cand_v, -cand_s, -cand_g))
+        top = max(1, len(cand_v) // _KICK_FRACTION)
+        order = order[:top]
+        cand_v, cand_t = cand_v[order], cand_t[order]
+        cand_g, cand_s = cand_g[order], cand_s[order]
+        selected = race(cand_v, cand_t)
+        sel_v, sel_t = cand_v[selected], cand_t[selected]
+        sel_g, sel_s = cand_g[selected], cand_s[selected]
+        keep = balance_keep(sel_v, sel_t)
+        sel_v, sel_t = sel_v[keep], sel_t[keep]
+        sel_g, sel_s = sel_g[keep], sel_s[keep]
+        if not len(sel_v):
+            return None
+        apply_batch(sel_v, sel_t, sel_g, sel_s)
+        frozen = np.zeros(hg.num_vertices, dtype=bool)
+        frozen[sel_v] = True
+        return frozen
+
+    greedy()
+    # perturbation loop: snapshot the fixpoint, kick the boundary into
+    # a negative-gain valley, re-descend (kicked vertices frozen first,
+    # so the descent reorganizes *around* the perturbation instead of
+    # undoing it move-for-move, then unfrozen to settle), and keep the
+    # result only if the lexicographic (cut, soed) objective strictly
+    # improved — otherwise restore the snapshot and stop.  Every
+    # accepted kick strictly decreases the potential, so this
+    # terminates; max_kicks and max_rounds bound the exploration.
+    for _ in range(max_kicks):
+        if rounds >= max_rounds:
+            break
+        snap = state.snapshot()
+        snap_key = (state.cut_size, state.connectivity)
+        snap_cut_deg = cut_deg.copy()
+        snap_rounds, snap_moves = rounds, moves
+        if recorder.enabled:
+            recorder.incr("part.batch.kicks")
+        frozen = kick()
+        if frozen is None:
+            break
+        greedy(frozen)
+        greedy()
+        if (state.cut_size, state.connectivity) >= snap_key:
+            state.restore(snap)
+            cut_deg = snap_cut_deg
+            rounds, moves = snap_rounds, snap_moves
+            break
+    return BatchRefineResult(rounds, moves, cut_before - state.cut_size,
+                             state.cut_size)

@@ -51,6 +51,7 @@ from ..hypergraph.partition_state import PartitionState
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..verilog.netlist import Netlist
 from .balance import BalanceConstraint
+from .batch_refine import batch_refine, validate_refiner
 from .fm import rebalance_pair
 from .parallel_refine import PairwiseRefiner, pairing_rounds
 
@@ -324,18 +325,38 @@ def _improve(
     state: PartitionState,
     constraint: BalanceConstraint,
     rounds_fn,
-    refiner: PairwiseRefiner,
+    engine: PairwiseRefiner,
     rng: np.random.Generator,
     cfg: MultilevelConfig,
+    refiner: str = "fm",
+    balance_fallback: bool = False,
+    recorder: Recorder = NULL_RECORDER,
 ) -> int:
-    """Tournament pairing + FM rounds until a round yields no gain
-    (the same stability loop as the direct multiway driver)."""
+    """Refine to stability with the selected refiner.
+
+    ``refiner="fm"``: tournament pairing + pairwise-FM rounds until a
+    round yields no gain (the same stability loop as the direct
+    multiway driver).  ``refiner="batch"``: the data-parallel
+    whole-boundary refiner of :mod:`repro.core.batch_refine`, run to
+    its fixpoint.  A batch round is one synchronous gather/select/apply
+    step — far finer-grained than a pairing round — so the FM round cap
+    does not apply; the refiner's own generous default cap backstops
+    the natural fixpoint exit.  ``balance_fallback`` (batch only)
+    forwards the next-best-destination retry mode; it defaults off —
+    measured at 100k vertices, the retries buy a better coarsest cut
+    but a worse final one (greedy churn), so only genuinely
+    window-bound callers should enable it.
+    """
+    if refiner == "batch":
+        return batch_refine(state, constraint,
+                            balance_fallback=balance_fallback,
+                            recorder=recorder).rounds
     rounds = 0
     for _ in range(cfg.max_rounds):
         schedule = rounds_fn(state, rng)
         gain = 0
         for pair_round in schedule:
-            gain += refiner.refine_round(
+            gain += engine.refine_round(
                 state, pair_round, constraint, max_passes=cfg.max_fm_passes,
             )
         rounds += 1
@@ -367,9 +388,10 @@ def _initial_partition(
     constraint: BalanceConstraint,
     cfg: MultilevelConfig,
     rounds_fn,
-    refiner: PairwiseRefiner,
+    engine: PairwiseRefiner,
     rng: np.random.Generator,
     recorder: Recorder,
+    refiner: str = "fm",
 ) -> tuple[PartitionState, int]:
     """Best of ``num_initial`` greedy candidates on the coarsest level.
 
@@ -390,8 +412,9 @@ def _initial_partition(
         state = PartitionState(
             coarsest, k, _greedy_fill(vertex_weight, k, order)
         )
-        rounds_total += _improve(state, constraint, rounds_fn, refiner,
-                                 rng, cfg)
+        rounds_total += _improve(state, constraint, rounds_fn, engine,
+                                 rng, cfg, refiner=refiner,
+                                 recorder=recorder)
         _repair(state, constraint, recorder)
         key = (constraint.violation(state.part_weight), state.cut_size, idx)
         if best is None or key < best:
@@ -421,6 +444,7 @@ def multilevel_kway_partition(
     workers: int | None = None,
     recorder: Recorder = NULL_RECORDER,
     config: MultilevelConfig | None = None,
+    refiner: str = "fm",
 ) -> MultilevelKwayResult:
     """Direct k-way multilevel partitioning of a hypergraph.
 
@@ -447,8 +471,15 @@ def multilevel_kway_partition(
     config:
         :class:`MultilevelConfig` overrides (stop size, matching cap,
         candidate and pass budgets).
+    refiner:
+        Per-level refiner: ``"fm"`` (tournament-paired heap FM through
+        the parallel engine) or ``"batch"`` (the data-parallel
+        whole-boundary refiner, :mod:`repro.core.batch_refine`) —
+        see ``docs/refinement.md`` for the decision guide.  Both are
+        deterministic at any ``workers`` count.
     """
     _validate(hg, k)
+    validate_refiner(refiner)
     cfg = config if config is not None else MultilevelConfig()
     constraint = BalanceConstraint(k, b)
     rng = np.random.default_rng(seed)
@@ -464,14 +495,14 @@ def multilevel_kway_partition(
     )
 
     rounds_fn = pairing_rounds("exhaustive", recorder=recorder)
-    refiner = PairwiseRefiner(workers, recorder=recorder)
+    engine = PairwiseRefiner(workers, recorder=recorder)
     refine_rounds = 0
     level_cuts: list[int] = []
     try:
         with recorder.phase("partition.initial"):
             state, initial_rounds = _initial_partition(
-                coarsest, k, constraint, cfg, rounds_fn, refiner, rng,
-                recorder,
+                coarsest, k, constraint, cfg, rounds_fn, engine, rng,
+                recorder, refiner=refiner,
             )
         refine_rounds += initial_rounds
         initial_cut = state.cut_size
@@ -490,7 +521,9 @@ def multilevel_kway_partition(
                     level.fine, k, state.part[level.mapping]
                 )
                 refine_rounds += _improve(state, constraint, rounds_fn,
-                                          refiner, rng, cfg)
+                                          engine, rng, cfg,
+                                          refiner=refiner,
+                                          recorder=recorder)
                 _repair(state, constraint, recorder)
                 level_cuts.append(state.cut_size)
                 if recorder.enabled:
@@ -501,9 +534,9 @@ def multilevel_kway_partition(
                     f"cut={state.cut_size}, "
                     f"loads={state.part_weight.tolist()}"
                 )
-        refiner.record_summary()
+        engine.record_summary()
     finally:
-        refiner.close()
+        engine.close()
 
     if recorder.enabled:
         recorder.incr("part.ml.refine_rounds", refine_rounds)
@@ -533,18 +566,23 @@ def direct_kway_partition(
     workers: int | None = None,
     recorder: Recorder = NULL_RECORDER,
     config: MultilevelConfig | None = None,
+    refiner: str = "fm",
 ) -> MultilevelKwayResult:
     """Flat direct k-way partitioning — the no-hierarchy comparator.
 
-    The same greedy LPT seeding and tournament-pairing FM refinement
-    as the multilevel engine, applied once to the full hypergraph with
-    no coarsening.  This is what "direct multiway on a flat
-    hypergraph" means in the decision guide (``docs/multilevel.md``)
-    and in ``benchmarks/bench_multilevel.py``'s cut-at-equal-balance
-    gate; the seeded move budget is identical, so any cut difference
-    is attributable to the hierarchy alone.
+    The same greedy LPT seeding and stability loop as the multilevel
+    engine, applied once to the full hypergraph with no coarsening.
+    This is what "direct multiway on a flat hypergraph" means in the
+    decision guide (``docs/multilevel.md``) and in
+    ``benchmarks/bench_multilevel.py``'s cut-at-equal-balance gate;
+    the seeded move budget is identical, so any cut difference is
+    attributable to the hierarchy alone.  ``refiner`` selects heap FM
+    (``"fm"``) or the data-parallel batch refiner (``"batch"``) —
+    ``benchmarks/bench_batch_refine.py`` uses exactly this switch to
+    isolate the refiner as the only variable.
     """
     _validate(hg, k)
+    validate_refiner(refiner)
     cfg = config if config is not None else MultilevelConfig()
     constraint = BalanceConstraint(k, b)
     rng = np.random.default_rng(seed)
@@ -554,7 +592,7 @@ def direct_kway_partition(
     order = sorted(range(hg.num_vertices),
                    key=lambda v: (-vertex_weight[v], v))
     rounds_fn = pairing_rounds("exhaustive", recorder=recorder)
-    refiner = PairwiseRefiner(workers, recorder=recorder)
+    engine = PairwiseRefiner(workers, recorder=recorder)
     try:
         with recorder.phase("partition.initial"):
             state = PartitionState(
@@ -566,16 +604,17 @@ def direct_kway_partition(
             f"loads={state.part_weight.tolist()}"
         )
         with recorder.phase("partition.refine"):
-            refine_rounds = _improve(state, constraint, rounds_fn, refiner,
-                                     rng, cfg)
+            refine_rounds = _improve(state, constraint, rounds_fn, engine,
+                                     rng, cfg, refiner=refiner,
+                                     recorder=recorder)
         _repair(state, constraint, recorder)
         history.append(
             f"refined: cut={state.cut_size}, "
             f"loads={state.part_weight.tolist()}"
         )
-        refiner.record_summary()
+        engine.record_summary()
     finally:
-        refiner.close()
+        engine.close()
     return MultilevelKwayResult(
         assignment=state.part.copy(),
         k=k,
@@ -600,6 +639,7 @@ def multilevel_flat_partition(
     workers: int | None = None,
     recorder: Recorder = NULL_RECORDER,
     config: MultilevelConfig | None = None,
+    refiner: str = "fm",
 ) -> MultilevelKwayResult:
     """Multilevel k-way partition of a netlist's flat gate hypergraph.
 
@@ -607,8 +647,9 @@ def multilevel_flat_partition(
     ``gate_assignment`` / ``to_simulation`` plug directly into the CLI,
     the pre-simulation sweeps and the Time Warp engine — the multilevel
     counterpart of :func:`repro.core.multiway.design_driven_partition`.
+    ``refiner`` passes through to :func:`multilevel_kway_partition`.
     """
     return multilevel_kway_partition(
         flat_hypergraph(netlist), k, b, seed=seed, workers=workers,
-        recorder=recorder, config=config,
+        recorder=recorder, config=config, refiner=refiner,
     )

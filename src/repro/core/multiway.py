@@ -28,6 +28,7 @@ from ..hypergraph.partition_state import PartitionState
 from ..obs.recorder import NULL_RECORDER, Recorder
 from ..verilog.netlist import Netlist
 from .balance import BalanceConstraint
+from .batch_refine import batch_refine, validate_refiner
 from .cone import cone_partition
 from .fm import rebalance_pair
 from .parallel_refine import PairwiseRefiner, pairing_rounds
@@ -84,6 +85,7 @@ def design_driven_partition(
     restarts: int = 1,
     workers: int | None = None,
     recorder: Recorder = NULL_RECORDER,
+    refiner: str = "fm",
 ) -> MultiwayResult:
     """Run the design-driven multiway partitioning algorithm.
 
@@ -129,7 +131,14 @@ def design_driven_partition(
         so counters reflect total work, not just the winner.  The
         default :data:`~repro.obs.recorder.NULL_RECORDER` records
         nothing at zero cost; a recorder never changes the result.
+    refiner:
+        Refinement mode per improvement cycle: ``"fm"`` (the paper's
+        pairing + pairwise heap FM) or ``"batch"`` (the data-parallel
+        whole-boundary refiner of :mod:`repro.core.batch_refine`; no
+        pairing, k-way moves in synchronous batches).  See
+        ``docs/refinement.md``.
     """
+    validate_refiner(refiner)
     if restarts > 1:
         candidates = [
             design_driven_partition(
@@ -137,6 +146,7 @@ def design_driven_partition(
                 initial=initial, max_fm_passes=max_fm_passes,
                 max_flatten_steps=max_flatten_steps, max_rounds=max_rounds,
                 restarts=1, workers=workers, recorder=recorder,
+                refiner=refiner,
             )
             for i in range(restarts)
         ]
@@ -173,15 +183,16 @@ def design_driven_partition(
 
     fm_rounds = 0
     flatten_steps = 0
-    refiner = PairwiseRefiner(workers, recorder=recorder)
+    engine = PairwiseRefiner(workers, recorder=recorder)
     try:
         fm_rounds, flatten_steps, clustering, state = _partition_loop(
-            clustering, state, constraint, rounds_fn, refiner, rng,
+            clustering, state, constraint, rounds_fn, engine, rng,
             max_fm_passes, max_flatten_steps, max_rounds, history, recorder,
+            refiner,
         )
-        refiner.record_summary()
+        engine.record_summary()
     finally:
-        refiner.close()
+        engine.close()
 
     if recorder.enabled:
         recorder.incr("part.rounds", fm_rounds)
@@ -205,13 +216,14 @@ def _partition_loop(
     state: PartitionState,
     constraint: BalanceConstraint,
     rounds_fn,
-    refiner: PairwiseRefiner,
+    engine: PairwiseRefiner,
     rng: np.random.Generator,
     max_fm_passes: int,
     max_flatten_steps: int,
     max_rounds: int,
     history: list[str],
     recorder: Recorder,
+    refiner: str = "fm",
 ) -> tuple[int, int, Clustering, PartitionState]:
     """The refine / rebalance / flatten loop of Figure 2 (body of
     :func:`design_driven_partition`, split out so the refinement
@@ -221,8 +233,8 @@ def _partition_loop(
     while True:
         with recorder.phase("partition.refine"):
             fm_rounds += _improve_until_stable(
-                state, constraint, rounds_fn, refiner, rng, max_fm_passes,
-                max_rounds, history,
+                state, constraint, rounds_fn, engine, rng, max_fm_passes,
+                max_rounds, history, refiner=refiner, recorder=recorder,
             )
         if constraint.satisfied(state.part_weight):
             break
@@ -267,25 +279,41 @@ def _improve_until_stable(
     state: PartitionState,
     constraint: BalanceConstraint,
     rounds_fn,
-    refiner: PairwiseRefiner,
+    engine: PairwiseRefiner,
     rng: np.random.Generator,
     max_fm_passes: int,
     max_rounds: int,
     history: list[str],
+    refiner: str = "fm",
+    recorder: Recorder = NULL_RECORDER,
 ) -> int:
-    """Pairing + FM rounds until no pair yields gain (Figure 2 loop).
+    """Refinement until no move yields gain (Figure 2 loop).
 
-    ``rounds_fn`` yields, per improvement round, a list of
-    conflict-free pair rounds; ``refiner`` executes each — in place
-    serially, or via its process pool with deterministic move replay
-    (either way the resulting partition is identical).
+    With ``refiner="fm"``, ``rounds_fn`` yields, per improvement round,
+    a list of conflict-free pair rounds; ``engine`` executes each — in
+    place serially, or via its process pool with deterministic move
+    replay (either way the resulting partition is identical).  With
+    ``refiner="batch"``, the data-parallel whole-boundary refiner runs
+    to its fixpoint instead — no pairing, the same round cap.
     """
+    if refiner == "batch":
+        # a batch round is one synchronous gather/select/apply step —
+        # far finer-grained than a pairing round — so the FM round cap
+        # does not apply; the refiner's own default cap backstops the
+        # natural fixpoint exit
+        rounds = batch_refine(state, constraint,
+                              recorder=recorder).rounds
+        history.append(
+            f"batch refine fixpoint after {rounds} rounds: "
+            f"cut={state.cut_size}, loads={state.part_weight.tolist()}"
+        )
+        return rounds
     rounds = 0
     for _ in range(max_rounds):
         schedule = rounds_fn(state, rng)
         round_gain = 0
         for pair_round in schedule:
-            round_gain += refiner.refine_round(
+            round_gain += engine.refine_round(
                 state, pair_round, constraint, max_passes=max_fm_passes,
             )
         rounds += 1

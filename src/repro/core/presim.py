@@ -33,6 +33,7 @@ from ..sim.events import InputEvent
 from ..sim.sequential import SequentialSimulator
 from ..verilog.netlist import Netlist
 from .balance import PAPER_B_VALUES
+from .batch_refine import validate_refiner
 from .multiway import MultiwayResult, design_driven_partition
 from .parallel_refine import resolve_workers
 
@@ -137,25 +138,29 @@ def _default_partitioner(
     pairing: str,
     refine_workers: int | None = None,
     algorithm: str = "design",
+    refiner: str = "fm",
 ) -> PartitionFn:
     if algorithm not in PRESIM_ALGORITHMS:
         raise ConfigError(
             f"unknown presim algorithm {algorithm!r}; "
             f"expected one of {PRESIM_ALGORITHMS}"
         )
+    validate_refiner(refiner)
     if algorithm == "multilevel":
         from .multilevel import multilevel_flat_partition
 
         def fn(netlist: Netlist, k: int, b: float):
             return multilevel_flat_partition(
-                netlist, k, b, seed=seed, workers=refine_workers
+                netlist, k, b, seed=seed, workers=refine_workers,
+                refiner=refiner,
             )
 
         return fn
 
     def fn(netlist: Netlist, k: int, b: float) -> MultiwayResult:
         return design_driven_partition(
-            netlist, k, b, seed=seed, pairing=pairing, workers=refine_workers
+            netlist, k, b, seed=seed, pairing=pairing, workers=refine_workers,
+            refiner=refiner,
         )
 
     return fn
@@ -227,6 +232,7 @@ def _init_presim_worker(
     algorithm: str,
     sequential: SequentialSimulator,
     collect: bool = False,
+    refiner: str = "fm",
 ) -> None:
     global _WORKER_CTX
     _WORKER_CTX = {
@@ -235,7 +241,7 @@ def _init_presim_worker(
         "base_spec": base_spec,
         "config": config,
         "partition_fn": _default_partitioner(
-            seed, pairing, refine_workers, algorithm
+            seed, pairing, refine_workers, algorithm, refiner
         ),
         "circuit": compile_circuit(netlist),
         "sequential": sequential,
@@ -280,9 +286,10 @@ class _PointMapper:
         sequential: SequentialSimulator,
         algorithm: str = "design",
         collect: bool = False,
+        refiner: str = "fm",
     ) -> None:
         self._serial_fn = partitioner or _default_partitioner(
-            seed, pairing, refine_workers, algorithm
+            seed, pairing, refine_workers, algorithm, refiner
         )
         self._circuit = circuit
         self._netlist = netlist
@@ -301,7 +308,8 @@ class _PointMapper:
                 max_workers=n,
                 initializer=_init_presim_worker,
                 initargs=(netlist, events, base_spec, config, seed, pairing,
-                          refine_workers, algorithm, sequential, collect),
+                          refine_workers, algorithm, sequential, collect,
+                          refiner),
             )
 
     @property
@@ -339,6 +347,7 @@ def brute_force_presim(
     refine_workers: int | None = None,
     workers: int | None = None,
     algorithm: str = "design",
+    refiner: str = "fm",
     recorder: Recorder = NULL_RECORDER,
 ) -> PresimStudy:
     """Evaluate every (k, b) combination; Tables 3 and 4's generator.
@@ -351,7 +360,10 @@ def brute_force_presim(
     ``algorithm`` selects the built-in partition backend per candidate:
     ``"design"`` (the paper's Figure-2 flow) or ``"multilevel"``
     (:func:`~repro.core.multilevel.multilevel_flat_partition`); ignored
-    when a custom ``partitioner`` is supplied.
+    when a custom ``partitioner`` is supplied.  ``refiner`` picks the
+    backend's per-level improvement engine (``"fm"`` or ``"batch"``,
+    see ``docs/refinement.md``), likewise ignored with a custom
+    ``partitioner``.
 
     ``workers`` fans the independent (k, b) candidates over a process
     pool (default: the ``REPRO_WORKERS`` policy of
@@ -372,7 +384,7 @@ def brute_force_presim(
     mapper = _PointMapper(
         netlist, events, base_spec, config, seed, pairing, refine_workers,
         partitioner, workers, circuit, sequential, algorithm,
-        collect=recorder.enabled,
+        collect=recorder.enabled, refiner=refiner,
     )
     try:
         points = mapper.map([(k, b) for k in ks for b in bs])
@@ -399,6 +411,7 @@ def heuristic_presim(
     b_step: float = 2.5,
     workers: int | None = None,
     algorithm: str = "design",
+    refiner: str = "fm",
     recorder: Recorder = NULL_RECORDER,
 ) -> PresimStudy:
     """The paper's heuristic search (Figure 3).
@@ -407,9 +420,9 @@ def heuristic_presim(
     choice of b will overcome having too many processors"), sweeps b
     upward, abandons the b sweep on the first non-improving speedup,
     then decrements k.  Saves pre-simulation runs at the cost of
-    possible local-minimum capture.  ``algorithm`` picks the built-in
-    partition backend per candidate exactly as in
-    :func:`brute_force_presim`.
+    possible local-minimum capture.  ``algorithm`` and ``refiner`` pick
+    the built-in partition backend and its improvement engine per
+    candidate exactly as in :func:`brute_force_presim`.
 
     With ``workers`` > 1 each k's whole b-row is evaluated
     speculatively in parallel, then walked in order applying the serial
@@ -425,7 +438,7 @@ def heuristic_presim(
     mapper = _PointMapper(
         netlist, events, base_spec, config, seed, pairing, refine_workers,
         partitioner, workers, circuit, sequential, algorithm,
-        collect=recorder.enabled,
+        collect=recorder.enabled, refiner=refiner,
     )
     points: list[PresimPoint] = []
     max_speedup = 1.0

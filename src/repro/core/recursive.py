@@ -25,6 +25,7 @@ from ..hypergraph.build import Clustering
 from ..hypergraph.partition_state import PartitionState
 from ..verilog.netlist import Netlist
 from .balance import BalanceConstraint
+from .batch_refine import batch_refine, validate_refiner
 from .cone import cone_partition
 from .fm import refine_pair
 from .multiway import MultiwayResult
@@ -40,6 +41,7 @@ def recursive_design_driven_partition(
     seed: int = 0,
     max_fm_passes: int = 8,
     workers: int | None = None,
+    refiner: str = "fm",
 ) -> MultiwayResult:
     """k-way partition by recursive two-way design-driven splits.
 
@@ -57,7 +59,14 @@ def recursive_design_driven_partition(
     no disjoint-pair round to fan out, so the value cannot change the
     result or the schedule (this limitation is exactly the paper's
     §3.1.1 argument against the recursive approach).
+
+    ``refiner`` selects the per-split improvement engine: ``"fm"`` runs
+    heap FM (:func:`repro.core.fm.refine_pair`) and ``"batch"`` the
+    data-parallel boundary refiner
+    (:func:`repro.core.batch_refine.batch_refine`) restricted to the
+    split's two active blocks.
     """
+    validate_refiner(refiner)
     resolve_workers(workers)  # validate; single-pair splits stay serial
     if isinstance(netlist_or_clustering, Clustering):
         clustering = netlist_or_clustering
@@ -70,7 +79,7 @@ def recursive_design_driven_partition(
     seed_state = cone_partition(clustering, max(k, 1), seed=seed)
     _split(
         hg, np.arange(hg.num_vertices), k, 0, b, seed, max_fm_passes,
-        assignment, seed_state,
+        assignment, seed_state, refiner,
     )
     state = PartitionState(hg, k, assignment)
     constraint = BalanceConstraint(k, b)
@@ -98,6 +107,7 @@ def _split(
     max_fm_passes: int,
     assignment: np.ndarray,
     seed_state: PartitionState,
+    refiner: str = "fm",
 ) -> None:
     if k == 1:
         assignment[vertices] = first_part
@@ -125,16 +135,19 @@ def _split(
     # FM between the two sides with the subset-scaled balance window
     slack = subset_weight * b / 100.0
     window = _SubsetWindow(target0, subset_weight - target0, slack, subset_weight)
-    refine_pair(local, 0, 1, window, max_passes=max_fm_passes)
+    if refiner == "batch":
+        batch_refine(local, window, blocks=(0, 1))
+    else:
+        refine_pair(local, 0, 1, window, max_passes=max_fm_passes)
     left = np.array([v for v in vertices if local.part_of(int(v)) == 0])
     right = np.array([v for v in vertices if local.part_of(int(v)) == 1])
     if len(left) == 0 or len(right) == 0:
         half = len(vertices) // 2
         left, right = vertices[:half], vertices[half:]
     _split(hg, left, k0, first_part, b, seed * 31 + 1, max_fm_passes,
-           assignment, seed_state)
+           assignment, seed_state, refiner)
     _split(hg, right, k - k0, first_part + k0, b, seed * 31 + 2, max_fm_passes,
-           assignment, seed_state)
+           assignment, seed_state, refiner)
 
 
 class _SubsetWindow:

@@ -415,6 +415,47 @@ class PartitionState:
         gains[self.part[vertices] == to_arr] = 0
         return gains
 
+    def move_soed_gains(
+        self, vertices: Sequence[int] | np.ndarray, to_parts: Sequence[int] | np.ndarray | int
+    ) -> np.ndarray:
+        """Batch connectivity (SOED/λ-sum) deltas for the same moves
+        :meth:`move_gains` scores by hyperedge cut.
+
+        ``gains[i]`` is the weighted decrease of Σ w·λ if ``vertices[i]``
+        moved to its target: an edge loses λ when the vertex is its
+        source block's last pin, and gains λ when the target block is
+        not yet present.  The batch refiner uses this as the secondary
+        objective — a zero-cut-gain move with positive SOED gain peels
+        an edge one block closer to uncut, escaping cut plateaus while
+        the lexicographic (cut, SOED) potential still strictly
+        decreases.  Vertices already in their target get gain 0.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        to_arr = np.broadcast_to(
+            np.asarray(to_parts, dtype=np.int64), vertices.shape
+        )
+        self.gain_batches += 1
+        self.gain_batch_vertices += len(vertices)
+        gains = np.zeros(len(vertices), dtype=np.int64)
+        if not len(vertices):
+            return gains
+        hg = self.hg
+        edges, deg = hg.vertices_edges(vertices)
+        if not len(edges):
+            return gains
+        self.lambda_hits += len(edges)
+        owner = np.repeat(np.arange(len(vertices), dtype=np.int64), deg)
+        frm = np.repeat(self.part[vertices], deg)
+        to = np.repeat(to_arr, deg)
+        counts = self.edge_part_count
+        w = hg.edge_weight[edges]
+        delta = np.where(counts[edges, frm] == 1, w, 0) - np.where(
+            counts[edges, to] == 0, w, 0
+        )
+        np.add.at(gains, owner, delta)
+        gains[self.part[vertices] == to_arr] = 0
+        return gains
+
     # -- mutation -------------------------------------------------------------
 
     def move(self, v: int, to_part: int) -> int:
@@ -515,6 +556,85 @@ class PartitionState:
         )
         soed_delta = int((w * (new_lam - lam)).sum())
         return gain, soed_delta
+
+    def move_batch(
+        self,
+        vertices: Sequence[int] | np.ndarray,
+        to_parts: Sequence[int] | np.ndarray,
+    ) -> tuple[int, np.ndarray, np.ndarray]:
+        """Apply many moves in one vectorized scatter; the batch
+        counterpart of :meth:`move`.
+
+        ``vertices`` must be distinct; ``to_parts[i]`` is the target of
+        ``vertices[i]`` (entries already in their target are skipped).
+        The per-edge partition counts are updated with two scatter-adds
+        over the batch's gathered incidence slices, λ is re-derived only
+        on the touched edges, and cut/connectivity/part weights follow
+        from the λ transitions — O(batch pins + touched·k) total,
+        independent of how many untouched edges the hypergraph has.
+
+        Returns ``(gain, touched_edges, old_lambda)``: the realized cut
+        decrease, the sorted ids of every edge incident to a moved
+        vertex, and those edges' λ values *before* the batch.  The two
+        arrays let callers maintain incremental boundary structures —
+        only an edge whose cut status flipped (λ crossing 1) changes
+        any vertex's cut-edge degree (:mod:`repro.core.batch_refine`).
+
+        When no two moved vertices share a hyperedge the realized gain
+        equals the sum of the individual :meth:`move_gain` predictions
+        taken before the batch — each touched edge sees exactly one
+        endpoint move, so the per-move cut deltas are additive.  The
+        method itself is correct for arbitrary batches (the scatters
+        accumulate), only that additivity guarantee needs disjointness.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        to_arr = np.asarray(to_parts, dtype=np.int64)
+        if vertices.shape != to_arr.shape:
+            raise PartitionError(
+                f"move_batch got {len(vertices)} vertices but "
+                f"{len(to_arr)} targets"
+            )
+        if len(to_arr) and (to_arr.min() < 0 or to_arr.max() >= self.k):
+            raise PartitionError("move_batch target partition out of range")
+        frm = self.part[vertices]
+        changed = frm != to_arr
+        vertices, to_arr, frm = vertices[changed], to_arr[changed], frm[changed]
+        if not len(vertices):
+            empty = np.empty(0, dtype=np.int64)
+            return 0, empty, empty.copy()
+        hg = self.hg
+        edges, deg = hg.vertices_edges(vertices)
+        counts = self.edge_part_count
+        np.subtract.at(counts, (edges, np.repeat(frm, deg)), 1)
+        np.add.at(counts, (edges, np.repeat(to_arr, deg)), 1)
+        touched = np.unique(edges)
+        old_lam = self.edge_lambda[touched].copy()
+        new_lam = np.count_nonzero(counts[touched], axis=1).astype(np.int64)
+        self.edge_lambda[touched] = new_lam
+        w = hg.edge_weight[touched]
+        gain = int(w[(old_lam > 1) & (new_lam == 1)].sum()) - int(
+            w[(old_lam == 1) & (new_lam > 1)].sum()
+        )
+        self._cut -= gain
+        self._soed += int((w * (new_lam - old_lam)).sum())
+        moved_w = hg.vertex_weight[vertices]
+        pw = self._pw_list
+        for p, wv in zip(frm.tolist(), moved_w.tolist()):
+            pw[p] -= wv
+        for p, wv in zip(to_arr.tolist(), moved_w.tolist()):
+            pw[p] += wv
+        self.part[vertices] = to_arr
+        part_list = self._part_list
+        for v, p in zip(vertices.tolist(), to_arr.tolist()):
+            part_list[v] = p
+        counts_list = self._counts_list
+        lam_list = self._lam_list
+        for e, row, nl in zip(
+            touched.tolist(), counts[touched].tolist(), new_lam.tolist()
+        ):
+            counts_list[e] = row
+            lam_list[e] = nl
+        return gain, touched, old_lam
 
     def bulk_assign(self, vertices: Iterable[int], to_part: int) -> None:
         """Assign many vertices at once, then recompute.

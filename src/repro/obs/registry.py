@@ -43,6 +43,15 @@ METRIC_REGISTRY: dict[str, str] = {
     "part.core.gain_batches": "batch move_gains() queries answered by the vectorized core",
     "part.core.gain_batch_vertices": "total vertices evaluated across batch gain queries",
     "part.core.boundary_batches": "vectorized pair-boundary extractions (pairing + FM fills)",
+    "part.batch.rounds": "gather/select/apply rounds executed by batch refinement",
+    "part.batch.moves": "vertex moves applied by batch refinement",
+    "part.batch.gain": "total realized cut gain of applied move batches",
+    "part.batch.candidates": "positive-gain move candidates across all batch rounds",
+    "part.batch.conflicts": "candidates dropped by the one-destination-per-hyperedge race",
+    "part.batch.balance_dropped": "candidates dropped by the prefix-sum weight filters",
+    "part.batch.boundary": "boundary vertices gathered in one round (use .max)",
+    "part.batch.retries": "balance-stalled re-selections with next-best destinations",
+    "part.batch.kicks": "perturbation attempts at the greedy fixpoint (rollback on no gain)",
     "part.ml.levels": "coarsening levels built by the multilevel engine",
     "part.ml.coarse_vertices": "vertex count of the coarsest hypergraph",
     "part.ml.matched_pairs": "heavy-edge matches accepted across all coarsening levels",
@@ -103,6 +112,8 @@ PHASE_REGISTRY: dict[str, str] = {
                          "or coarsest-level greedy candidates)",
     "partition.uncoarsen": "multilevel projection + per-level refinement",
     "partition.refine": "one pairing + pairwise-FM improvement cycle",
+    "partition.batch_refine": "one batch data-parallel refinement call, "
+                              "gather to fixpoint",
     "partition.flatten": "super-gate flattening + assignment carry-over",
     "partition.rebalance": "load redistribution / final balance repair",
     "refine.pair": "one pairwise-FM task (driver or pool worker lane)",

@@ -1,0 +1,299 @@
+"""Batch data-parallel refinement (repro.core.batch_refine).
+
+Covers the ISSUE acceptance matrix: the degenerate exits (empty
+boundary, k=1, every move rejected by balance), the randomized
+never-worse / oracle-consistency property at the fixpoint, the
+move_batch scatter against a sequential-move oracle, and the
+``refiner="batch"`` plumbing through multilevel, multiway, recursive
+and the CLI.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import ripple_adder_verilog
+from repro.cli import main
+from repro.core import (
+    REFINERS,
+    BalanceConstraint,
+    batch_refine,
+    cut_degrees,
+    design_driven_partition,
+    multilevel_flat_partition,
+    recursive_design_driven_partition,
+    validate_refiner,
+)
+from repro.errors import ConfigError, PartitionError
+from repro.hypergraph import Hypergraph, PartitionState, hyperedge_cut
+from repro.obs import MetricsRecorder
+from repro.obs.registry import is_registered
+from repro.verilog import compile_verilog
+
+
+def synthetic_hypergraph(n=600, seed=7) -> Hypergraph:
+    """Circuit-shaped: local windows, wide block nets, random wires."""
+    rng = np.random.default_rng(seed)
+    weights = rng.integers(1, 4, n).tolist()
+    edges = []
+    for i in range(0, n - 3, 2):
+        edges.append([i, i + 1, i + 2])
+    for s in range(0, n, 20):
+        edges.append(list(range(s, min(s + 20, n))))
+    for _ in range(n // 10):
+        a, b = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if a != b:
+            edges.append([a, b])
+    return Hypergraph.from_edges(weights, edges)
+
+
+class TestValidateRefiner:
+    def test_known_names(self):
+        for name in REFINERS:
+            assert validate_refiner(name) == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            validate_refiner("anneal")
+
+    def test_entry_points_reject_unknown(self):
+        nl = compile_verilog(ripple_adder_verilog(4))
+        for fn in (design_driven_partition, multilevel_flat_partition,
+                   recursive_design_driven_partition):
+            with pytest.raises(ConfigError):
+                fn(nl, 2, 10.0, refiner="anneal")
+
+
+class TestDegenerateExits:
+    def test_empty_boundary_is_noop(self):
+        # two disconnected cliques, one per block: zero cut edges
+        hg = Hypergraph.from_edges([1] * 6, [[0, 1, 2], [3, 4, 5]])
+        state = PartitionState(hg, 2, [0, 0, 0, 1, 1, 1])
+        assert state.cut_size == 0
+        res = batch_refine(state, BalanceConstraint(2, 10.0))
+        assert (res.rounds, res.moves, res.gain) == (0, 0, 0)
+        assert state.part.tolist() == [0, 0, 0, 1, 1, 1]
+
+    def test_single_block_returns_immediately(self):
+        hg = Hypergraph.from_edges([1] * 4, [[0, 1], [2, 3]])
+        state = PartitionState(hg, 1, [0, 0, 0, 0])
+        res = batch_refine(state, BalanceConstraint(1, 10.0))
+        assert (res.rounds, res.moves, res.gain) == (0, 0, 0)
+
+    def test_blocks_restriction_needs_two(self):
+        hg = Hypergraph.from_edges([1] * 4, [[0, 1], [2, 3]])
+        state = PartitionState(hg, 3, [0, 1, 2, 2])
+        res = batch_refine(state, BalanceConstraint(3, 10.0), blocks=(1,))
+        assert res.moves == 0
+
+    def test_blocks_out_of_range(self):
+        hg = Hypergraph.from_edges([1] * 4, [[0, 1], [2, 3]])
+        state = PartitionState(hg, 2, [0, 1, 0, 1])
+        with pytest.raises(PartitionError):
+            batch_refine(state, BalanceConstraint(2, 10.0), blocks=(0, 5))
+
+    def test_all_moves_rejected_by_balance(self):
+        # a cut edge whose repair would empty a block: with b=0 the
+        # weights must stay exactly ideal, so no move is admissible
+        hg = Hypergraph.from_edges([1, 1], [[0, 1]])
+        state = PartitionState(hg, 2, [0, 1])
+        assert state.cut_size == 1
+        res = batch_refine(state, BalanceConstraint(2, 0.0))
+        assert (res.rounds, res.moves, res.gain) == (0, 0, 0)
+        assert state.part.tolist() == [0, 1]
+
+    def test_no_edges(self):
+        hg = Hypergraph.from_edges([1, 1, 1], [])
+        state = PartitionState(hg, 2, [0, 1, 0])
+        res = batch_refine(state, BalanceConstraint(2, 10.0))
+        assert (res.rounds, res.moves, res.gain) == (0, 0, 0)
+
+
+class TestCutDegrees:
+    def test_matches_definition(self):
+        hg = synthetic_hypergraph(n=120, seed=1)
+        rng = np.random.default_rng(2)
+        state = PartitionState(hg, 3, rng.integers(0, 3, hg.num_vertices))
+        deg = cut_degrees(state)
+        for v in range(hg.num_vertices):
+            expect = sum(
+                1 for e in hg.vertex_edges(v) if state.edge_lambda[e] > 1
+            )
+            assert deg[v] == expect
+
+
+class TestFixpointProperties:
+    def test_improves_and_stays_consistent(self):
+        hg = synthetic_hypergraph()
+        rng = np.random.default_rng(3)
+        state = PartitionState(hg, 4, rng.integers(0, 4, hg.num_vertices))
+        constraint = BalanceConstraint(4, 10.0)
+        cut0 = state.cut_size
+        res = batch_refine(state, constraint)
+        assert res.cut_size == state.cut_size <= cut0
+        assert res.gain == cut0 - state.cut_size > 0
+        # incremental bookkeeping matches a from-scratch recount
+        assert state.cut_size == hyperedge_cut(hg, state.part)
+        fresh = PartitionState(hg, 4, state.part.copy())
+        assert (fresh.edge_part_count == state.edge_part_count).all()
+
+    def test_fixpoint_is_idempotent(self):
+        hg = synthetic_hypergraph(seed=11)
+        rng = np.random.default_rng(4)
+        state = PartitionState(hg, 3, rng.integers(0, 3, hg.num_vertices))
+        constraint = BalanceConstraint(3, 10.0)
+        batch_refine(state, constraint)
+        again = batch_refine(state, constraint)
+        assert (again.rounds, again.moves, again.gain) == (0, 0, 0)
+
+    def test_deterministic(self):
+        hg = synthetic_hypergraph(seed=13)
+        rng = np.random.default_rng(5)
+        init = rng.integers(0, 4, hg.num_vertices)
+        outs = []
+        for _ in range(2):
+            state = PartitionState(hg, 4, init.copy())
+            batch_refine(state, BalanceConstraint(4, 10.0))
+            outs.append(state.part.copy())
+        assert (outs[0] == outs[1]).all()
+
+    def test_balance_preserved_when_started_inside(self):
+        hg = synthetic_hypergraph(seed=17)
+        constraint = BalanceConstraint(4, 10.0)
+        lo, hi = constraint.bounds(hg.total_weight)
+        # start from a balanced greedy fill
+        order = np.argsort(-hg.vertex_weight, kind="stable")
+        part = np.zeros(hg.num_vertices, dtype=np.int64)
+        loads = [0, 0, 0, 0]
+        for v in order:
+            p = int(np.argmin(loads))
+            part[v] = p
+            loads[p] += int(hg.vertex_weight[v])
+        state = PartitionState(hg, 4, part)
+        assert constraint.satisfied(state.part_weight)
+        batch_refine(state, constraint)
+        assert constraint.satisfied(state.part_weight)
+        assert all(lo <= w <= hi for w in state.part_weight.tolist())
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_randomized_never_worse(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(8, 60))
+        m = int(rng.integers(4, 80))
+        k = int(rng.integers(2, 5))
+        edges = []
+        for _ in range(m):
+            size = int(rng.integers(2, min(n, 5)))
+            edges.append(rng.choice(n, size=size, replace=False).tolist())
+        hg = Hypergraph.from_edges(rng.integers(1, 4, n).tolist(), edges)
+        state = PartitionState(hg, k, rng.integers(0, k, n))
+        constraint = BalanceConstraint(k, float(rng.choice([5.0, 10.0, 20.0])))
+        cut0 = state.cut_size
+        satisfied0 = constraint.satisfied(state.part_weight)
+        res = batch_refine(state, constraint)
+        assert state.cut_size <= cut0
+        assert res.gain == cut0 - state.cut_size
+        assert state.cut_size == hyperedge_cut(hg, state.part)
+        if satisfied0:
+            assert constraint.satisfied(state.part_weight)
+        # fixpoint: a second call finds nothing
+        assert batch_refine(state, constraint).moves == 0
+
+
+class TestMoveBatchOracle:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_sequential_moves(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(6, 40))
+        m = int(rng.integers(3, 50))
+        k = int(rng.integers(2, 5))
+        edges = []
+        for _ in range(m):
+            size = int(rng.integers(2, min(n, 5)))
+            edges.append(rng.choice(n, size=size, replace=False).tolist())
+        hg = Hypergraph.from_edges(rng.integers(1, 4, n).tolist(), edges)
+        init = rng.integers(0, k, n)
+        n_moves = int(rng.integers(1, min(n, 8) + 1))
+        verts = rng.choice(n, size=n_moves, replace=False)
+        targets = rng.integers(0, k, n_moves)
+
+        batched = PartitionState(hg, k, init.copy())
+        gain, touched, old_lam = batched.move_batch(verts, targets)
+
+        serial = PartitionState(hg, k, init.copy())
+        cut_before = serial.cut_size
+        for v, p in zip(verts, targets):
+            serial.move(int(v), int(p))
+
+        assert batched.part.tolist() == serial.part.tolist()
+        assert batched.cut_size == serial.cut_size
+        assert batched.connectivity == serial.connectivity
+        assert batched.part_weight.tolist() == serial.part_weight.tolist()
+        assert (batched.edge_part_count == serial.edge_part_count).all()
+        assert gain == cut_before - serial.cut_size
+        # the flipped-edge report covers exactly the λ changes
+        fresh = PartitionState(hg, k, init.copy())
+        changed = np.flatnonzero(fresh.edge_lambda != batched.edge_lambda)
+        assert set(changed.tolist()) <= set(touched.tolist())
+        assert (old_lam == fresh.edge_lambda[touched]).all()
+
+    def test_rejects_bad_target(self):
+        hg = Hypergraph.from_edges([1, 1], [[0, 1]])
+        state = PartitionState(hg, 2, [0, 1])
+        with pytest.raises(PartitionError):
+            state.move_batch([0], [5])
+
+    def test_empty_batch(self):
+        hg = Hypergraph.from_edges([1, 1], [[0, 1]])
+        state = PartitionState(hg, 2, [0, 1])
+        gain, touched, old_lam = state.move_batch([], [])
+        assert gain == 0 and len(touched) == 0 and len(old_lam) == 0
+
+
+class TestBlocksRestriction:
+    def test_only_listed_blocks_move(self):
+        hg = synthetic_hypergraph(n=200, seed=19)
+        rng = np.random.default_rng(6)
+        init = rng.integers(0, 3, hg.num_vertices)
+        state = PartitionState(hg, 3, init.copy())
+        frozen = np.flatnonzero(init == 2)
+        batch_refine(state, BalanceConstraint(3, 30.0), blocks=(0, 1))
+        assert (state.part[frozen] == 2).all()
+        moved = np.flatnonzero(state.part != init)
+        assert set(state.part[moved].tolist()) <= {0, 1}
+
+
+class TestIntegration:
+    def test_entry_points_accept_batch(self):
+        nl = compile_verilog(ripple_adder_verilog(16))
+        for fn in (design_driven_partition, multilevel_flat_partition,
+                   recursive_design_driven_partition):
+            r = fn(nl, 3, 10.0, seed=1, refiner="batch")
+            assert r.balanced
+
+    def test_metrics_are_registered(self):
+        hg = synthetic_hypergraph(n=300, seed=23)
+        rng = np.random.default_rng(7)
+        state = PartitionState(hg, 3, rng.integers(0, 3, hg.num_vertices))
+        rec = MetricsRecorder()
+        batch_refine(state, BalanceConstraint(3, 10.0), recorder=rec)
+        counters = rec.as_counters()
+        assert counters["partition.batch_refine.calls"] == 1
+        assert counters["part.batch.rounds"] >= 1
+        assert counters["part.batch.moves"] >= 1
+        for name in counters:
+            assert is_registered(name), name
+
+    def test_cli_partition_refiner_flag(self, tmp_path):
+        src = tmp_path / "a.v"
+        src.write_text(ripple_adder_verilog(8))
+        out = io.StringIO()
+        rc = main(["partition", str(src), "-k", "2", "--refiner", "batch"],
+                  out=out)
+        assert rc == 0
+        assert "refiner=batch" in out.getvalue()

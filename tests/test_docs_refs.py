@@ -98,3 +98,40 @@ def test_cli_flag_universe_includes_subcommands():
     assert "--refine-workers" in flags
     assert "--fail-on-regression" in flags  # obs diff, nested subparser
     assert "--metrics-out" in flags
+
+
+def test_command_flag_table_is_per_subcommand():
+    table = check_docs.cli_command_flags()
+    assert "--refiner" in table["partition"]
+    assert "--refiner" in table["sweep"]
+    # psim-only flag does not leak into partition's set
+    assert "--trace" in table["psim"]
+    assert "--trace" not in table["partition"]
+    # top-level options live under the "" key
+    assert "--version" in table[""]
+
+
+def test_invocation_flags_checked_against_their_subcommand(tmp_path):
+    root = tmp_path
+    (root / "docs").mkdir()
+    (root / "benchmarks").mkdir()
+    (root / "tools").mkdir()
+    # --trace exists (on psim), so the flat flag check passes; the
+    # invocation check must still flag it on `repro partition`
+    (root / "README.md").write_text(
+        "run `python -m repro partition a.v --trace out.json`\n"
+        "and `repro psim a.v --trace out.json` (fine)\n"
+    )
+    complaints = check_docs.check_docs(root)
+    assert len(complaints) == 1
+    assert "--trace" in complaints[0]
+    assert "repro partition" in complaints[0]
+
+
+def test_invocation_check_joins_continuation_lines():
+    table = check_docs.cli_command_flags()
+    text = "```\npython -m repro sweep design.v \\\n  --refiner batch\n```\n"
+    assert check_docs.invocation_complaints(text, table) == []
+    bad = "`repro sweep design.v --trace t.json`"
+    out = check_docs.invocation_complaints(bad, table)
+    assert out == ["`--trace` is not accepted by `repro sweep`"]

@@ -12,6 +12,12 @@ named in ``docs/*.md`` and ``README.md`` resolves to something real:
   script under ``benchmarks/`` or ``tools/`` (discovered by scanning
   for ``add_argument`` calls), or on the small external-tool allowlist
   (pytest plugins invoked verbatim in the README);
+* CLI *invocations* (``repro sweep --refiner batch ...`` in prose or a
+  code block) are checked per subcommand: every flag in the snippet
+  must be accepted by **that** subcommand's parser (or the top-level
+  one), not merely exist somewhere on the CLI — so a doc showing a
+  ``psim``-only flag on ``repro partition`` fails even though the flag
+  is real;
 * metric and phase names (``part.ml.levels``, ``tw.rollbacks``,
   ``partition.coarsen``, …) must exist in
   :mod:`repro.obs.registry` — including the derived ``.max`` /
@@ -47,6 +53,12 @@ EXTERNAL_FLAGS = {
 
 _MODULE_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
 _FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+#: a CLI invocation: ``repro <subcommand> <rest-of-snippet>`` (with or
+#: without the ``python -m`` prefix); the rest ends at a backtick or
+#: newline so inline code spans stay self-contained
+_INVOCATION_RE = re.compile(
+    r"(?:python -m )?\brepro\s+([a-z][a-z0-9-]*)\b([^`\n]*)"
+)
 _ADD_ARGUMENT_RE = re.compile(r"add_argument\(\s*['\"](--[a-z][a-z0-9-]*)['\"]")
 _METRIC_RE = re.compile(
     r"(?<![\w.])(?:part|tw|seq|sim|bench|partition|obs|refine|presim|sweep)"
@@ -138,6 +150,56 @@ def cli_flags() -> set[str]:
     return flags
 
 
+def cli_command_flags() -> dict[str, set[str]]:
+    """Long options per ``python -m repro`` subcommand, plus a ``""``
+    entry for the top-level parser.  Nested subcommands (e.g. ``repro
+    obs timeline``) are flattened into their parent's set."""
+    from repro.cli import build_parser
+
+    def collect(parser: argparse.ArgumentParser) -> set[str]:
+        flags: set[str] = set()
+        stack = [parser]
+        while stack:
+            p = stack.pop()
+            for action in p._actions:
+                flags.update(
+                    o for o in action.option_strings if o.startswith("--")
+                )
+                if isinstance(action, argparse._SubParsersAction):
+                    stack.extend(action.choices.values())
+        return flags
+
+    table: dict[str, set[str]] = {"": set()}
+    for action in build_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, sub in action.choices.items():
+                table[name] = collect(sub)
+        else:
+            table[""].update(
+                o for o in action.option_strings if o.startswith("--")
+            )
+    return table
+
+
+def invocation_complaints(text: str,
+                          table: dict[str, set[str]]) -> list[str]:
+    """Flags used in ``repro <cmd> ...`` snippets that ``<cmd>`` does
+    not accept.  Backslash-continued command lines are joined first;
+    words that happen to follow ``repro`` in prose are skipped unless
+    they name a real subcommand."""
+    out: list[str] = []
+    for match in _INVOCATION_RE.finditer(text.replace("\\\n", " ")):
+        cmd, rest = match.group(1), match.group(2)
+        if cmd not in table:
+            continue
+        allowed = table[cmd] | table[""] | EXTERNAL_FLAGS
+        out.extend(
+            f"`{flag}` is not accepted by `repro {cmd}`"
+            for flag in _FLAG_RE.findall(rest) if flag not in allowed
+        )
+    return out
+
+
 def script_flags(root: Path) -> set[str]:
     """Long options declared by scripts under benchmarks/ and tools/."""
     flags: set[str] = set()
@@ -151,9 +213,11 @@ def check_docs(root: Path = REPO_ROOT) -> list[str]:
     """Return a list of dangling-reference complaints (empty = clean)."""
     known_flags = cli_flags() | script_flags(root) | EXTERNAL_FLAGS
     names, families = _registry_names()
+    command_table = cli_command_flags()
     complaints: list[str] = []
     for path in doc_paths(root):
-        modules, flags, metrics = referenced_tokens(path.read_text())
+        text = path.read_text()
+        modules, flags, metrics = referenced_tokens(text)
         rel = path.relative_to(root)
         for dotted in sorted(modules):
             if not resolves(dotted):
@@ -161,6 +225,8 @@ def check_docs(root: Path = REPO_ROOT) -> list[str]:
         for flag in sorted(flags):
             if flag not in known_flags:
                 complaints.append(f"{rel}: unknown CLI flag `{flag}`")
+        for why in sorted(set(invocation_complaints(text, command_table))):
+            complaints.append(f"{rel}: {why}")
         for token in sorted(metrics):
             why = metric_complaint(token, names, families)
             if why is not None:
