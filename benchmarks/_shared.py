@@ -22,6 +22,7 @@ from repro.bench import (
     table5_full_sim,
 )
 from repro.obs import metrics_document, validate_metrics, write_metrics
+from repro.obs.sampler import ResourceSampler
 
 #: the benchmark workload: a single scaled Viterbi decoder — one
 #: decoder like the paper's (no trivially separable channels), with the
@@ -34,6 +35,20 @@ CFG = ExperimentConfig(
 )
 
 OUT_DIR = Path(__file__).parent / "out"
+
+
+@functools.lru_cache(maxsize=1)
+def _sampler() -> ResourceSampler:
+    """Process-wide resource sampler, started on first use.
+
+    Every study that goes through :func:`emit` gets the same
+    ``obs.sampler.*`` peak-RSS / CPU readings in its ``host_timings``
+    — one background thread for the whole benchmark process instead of
+    each study hand-rolling (or forgetting) its own sampler.  Peaks are
+    monotone (VmHWM is a lifetime high-water mark), so later studies
+    report the process peak up to their emit time.
+    """
+    return ResourceSampler().start()
 
 
 def emit(
@@ -95,6 +110,9 @@ def emit(
         generated_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
     )
     merged_timings = dict(recorder.host_timings()) if recorder is not None else {}
+    sampler = _sampler()
+    sampler._sample_once()
+    merged_timings.update(sampler.as_host_values())
     merged_timings.update(host_timings or {})
     if merged_timings:
         doc["host_timings"] = {

@@ -13,10 +13,17 @@
 from .viterbi import (
     ViterbiConfig,
     viterbi_verilog,
+    viterbi_stream,
     PAPER_CONFIG,
     BENCH_CONFIG,
     TEST_CONFIG,
+    S10K_CONFIG,
+    S100K_CONFIG,
+    XL_CONFIG,
 )
+from .noc import NocConfig, noc_stream, noc_verilog
+from .memctrl import MemCtrlConfig, memctrl_stream, memctrl_verilog
+from .stream import ModuleTemplate, StreamBuilder
 from .generators import (
     ripple_adder_verilog,
     multiplier_verilog,
@@ -27,7 +34,15 @@ from .generators import (
     random_logic_verilog,
 )
 from .cpu import CpuConfig, cpu_verilog, CPU_BENCH_CONFIG, CPU_TEST_CONFIG
-from .library import CIRCUITS, available_circuits, circuit_source, load_circuit
+from .library import (
+    CIRCUITS,
+    STREAM_CIRCUITS,
+    available_circuits,
+    available_stream_circuits,
+    circuit_source,
+    load_circuit,
+    load_stream_circuit,
+)
 from .vectors import (
     VectorSchedule,
     detect_clocks,
@@ -39,9 +54,21 @@ from .vectors import (
 __all__ = [
     "ViterbiConfig",
     "viterbi_verilog",
+    "viterbi_stream",
     "PAPER_CONFIG",
     "BENCH_CONFIG",
     "TEST_CONFIG",
+    "S10K_CONFIG",
+    "S100K_CONFIG",
+    "XL_CONFIG",
+    "NocConfig",
+    "noc_verilog",
+    "noc_stream",
+    "MemCtrlConfig",
+    "memctrl_verilog",
+    "memctrl_stream",
+    "ModuleTemplate",
+    "StreamBuilder",
     "ripple_adder_verilog",
     "multiplier_verilog",
     "counter_verilog",
@@ -50,9 +77,12 @@ __all__ = [
     "mesh_verilog",
     "random_logic_verilog",
     "CIRCUITS",
+    "STREAM_CIRCUITS",
     "available_circuits",
+    "available_stream_circuits",
     "circuit_source",
     "load_circuit",
+    "load_stream_circuit",
     "VectorSchedule",
     "detect_clocks",
     "natural_schedule",

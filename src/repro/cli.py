@@ -266,8 +266,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load(args) -> "object":
+    """Resolve the ``file`` argument to a netlist.
+
+    Three spellings: a Verilog path (parsed through the full front
+    end), ``circuit:NAME`` (the text registry, still parsed), or
+    ``stream:NAME`` (the array-native registry — returns a
+    :class:`~repro.verilog.netlist_csr.NetlistCSR` with no Verilog
+    text round-trip; the only practical route to the million-gate
+    scale-ladder circuits like ``stream:viterbi-xl``).
+    """
     from .verilog import compile_verilog
 
+    spec = str(args.file)
+    if spec.startswith("circuit:"):
+        from .circuits import load_circuit
+
+        return load_circuit(spec[len("circuit:"):])
+    if spec.startswith("stream:"):
+        from .circuits import load_stream_circuit
+
+        return load_stream_circuit(spec[len("stream:"):])
     text = args.file.read_text()
     return compile_verilog(text, top=args.top)
 
@@ -326,7 +344,18 @@ def _cmd_generate(args, out) -> int:
 
 
 def _cmd_info(args, out) -> int:
+    from .verilog.netlist_csr import NetlistCSR
+
     netlist = _load(args)
+    if isinstance(netlist, NetlistCSR):
+        out.write(f"top module : {netlist.top}\n")
+        out.write(f"gates      : {netlist.num_gates}\n")
+        out.write(f"nets       : {netlist.num_nets}\n")
+        out.write(f"pins       : {netlist.num_pins}\n")
+        out.write(f"inputs     : {len(netlist.inputs)}\n")
+        out.write(f"outputs    : {len(netlist.outputs)}\n")
+        out.write("form       : array-native (no hierarchy/name strings)\n")
+        return 0
     out.write(f"top module : {netlist.top}\n")
     out.write(f"gates      : {netlist.num_gates}\n")
     out.write(f"nets       : {netlist.num_nets}\n")
@@ -350,9 +379,16 @@ def _cmd_info(args, out) -> int:
 
 
 def _cmd_partition(args, out) -> int:
+    from .verilog.netlist_csr import NetlistCSR
+
     netlist = _load(args)
     if args.save is not None and args.algorithm != "design":
         print("error: --save requires --algorithm design", file=sys.stderr)
+        return 1
+    if isinstance(netlist, NetlistCSR) and args.algorithm == "design":
+        print("error: --algorithm design needs the hierarchical object "
+              "model; stream: circuits carry none (use multilevel or "
+              "random)", file=sys.stderr)
         return 1
     recorder = None
     if args.metrics is not None:
@@ -409,10 +445,17 @@ def _cmd_partition(args, out) -> int:
     out.write(f"cut size  : {cut}\n")
     out.write(f"loads     : {loads}\n")
     if args.assignment_out is not None:
-        lines = [
-            f"{netlist.gates[g].name} {int(p)}"
-            for g, p in enumerate(gate_assignment)
-        ]
+        if isinstance(netlist, NetlistCSR):
+            # streamed circuits carry no name strings; g<gid> is stable
+            lines = [
+                f"{netlist.gate_name(g)} {int(p)}"
+                for g, p in enumerate(gate_assignment)
+            ]
+        else:
+            lines = [
+                f"{netlist.gates[g].name} {int(p)}"
+                for g, p in enumerate(gate_assignment)
+            ]
         args.assignment_out.write_text("\n".join(lines) + "\n")
         out.write(f"wrote      {args.assignment_out}\n")
     if args.metrics is not None:

@@ -10,10 +10,16 @@ Public surface:
   :func:`load_imbalance`, :func:`within_balance` — oracle metrics.
 * :func:`read_hgr` / :func:`write_hgr` — hMetis file interchange.
 * :func:`flat_hypergraph` / :func:`hierarchy_hypergraph` — builders from
-  elaborated Verilog netlists (see :mod:`repro.hypergraph.build`).
+  elaborated Verilog netlists (see :mod:`repro.hypergraph.build`);
+  :func:`streamed_flat_hypergraph` is the chunked array-native variant
+  behind ``flat_hypergraph``'s :class:`NetlistCSR` dispatch.
+* :func:`index_dtype` / :func:`require_int64` — the index dtype policy
+  shared by the streamed construction paths
+  (:mod:`repro.hypergraph.dtypes`).
 """
 
 from .hypergraph import Hypergraph, HypergraphBuilder
+from .dtypes import INT32_MAX, index_dtype, require_int64
 from .partition_state import PartitionState
 from .metrics import (
     hyperedge_cut,
@@ -29,6 +35,7 @@ from .build import (
     flat_hypergraph,
     hierarchy_hypergraph,
     project_hypergraph,
+    streamed_flat_hypergraph,
 )
 from .analysis import (
     CircuitStats,
@@ -44,6 +51,10 @@ __all__ = [
     "flat_hypergraph",
     "hierarchy_hypergraph",
     "project_hypergraph",
+    "streamed_flat_hypergraph",
+    "INT32_MAX",
+    "index_dtype",
+    "require_int64",
     "CircuitStats",
     "StuckXReport",
     "analyze_netlist",

@@ -20,11 +20,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import PartitionError
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..verilog.netlist import HierNode, Netlist
+from ..verilog.netlist_csr import NetlistCSR
+from .dtypes import index_dtype, require_int64
 from .hypergraph import Hypergraph
 
 __all__ = ["Cluster", "Clustering", "flat_hypergraph", "hierarchy_hypergraph",
-           "project_hypergraph"]
+           "project_hypergraph", "streamed_flat_hypergraph"]
 
 
 @dataclass(frozen=True)
@@ -241,9 +244,94 @@ class Clustering:
         )
 
 
-def flat_hypergraph(netlist: Netlist) -> Hypergraph:
-    """Gate-level hypergraph of the flattened netlist (hMetis's input)."""
+def flat_hypergraph(netlist: "Netlist | NetlistCSR") -> Hypergraph:
+    """Gate-level hypergraph of the flattened netlist (hMetis's input).
+
+    Dispatches on the netlist form: the object model goes through
+    :class:`Clustering` (per-gate Python objects, carries names), an
+    array-native :class:`~repro.verilog.netlist_csr.NetlistCSR` goes
+    through :func:`streamed_flat_hypergraph` (O(pins) arrays, no
+    per-gate Python work).  Both produce the identical hypergraph for
+    the same circuit — ``tests/test_stream_circuits.py`` pins that the
+    streamed build of ``NetlistCSR.from_netlist(nl)`` is bit-identical
+    to the object build of ``nl``.
+    """
+    if isinstance(netlist, NetlistCSR):
+        return streamed_flat_hypergraph(netlist)
     return Clustering.flat(netlist).hypergraph()
+
+
+def streamed_flat_hypergraph(
+    csr: NetlistCSR, recorder: Recorder = NULL_RECORDER
+) -> Hypergraph:
+    """Chunk-built gate-level hypergraph of an array-native netlist.
+
+    Semantics match :meth:`Clustering._build_hypergraph` with singleton
+    clusters exactly: one hyperedge per net touching two or more
+    distinct gates (driver, when one exists, plus sink gates), edges
+    ordered by net id, pins sorted ascending, all weights 1.
+
+    The construction is pure array work sized O(pins): incidence pairs
+    are materialized at the narrow width
+    (:func:`~repro.hypergraph.dtypes.index_dtype`), deduplicated with
+    one lexsort, and counted per net — no per-gate or per-net Python
+    lists at any point, which is what keeps peak build RSS at a small
+    constant times the pin count (asserted by
+    ``benchmarks/bench_scale_ladder.py``).
+    """
+    n_gates = csr.num_gates
+    dt = index_dtype(max(csr.num_nets, n_gates))
+    # incidence pairs: every gate touches its output net (driver) and
+    # each input-pin net (sink)
+    pin_gate = np.repeat(
+        np.arange(n_gates, dtype=dt), np.diff(csr.pin_ptr)
+    )
+    nets = np.concatenate(
+        (csr.gate_output.astype(dt, copy=False),
+         csr.pin_net.astype(dt, copy=False))
+    )
+    gates = np.concatenate((np.arange(n_gates, dtype=dt), pin_gate))
+    del pin_gate
+    order = np.lexsort((gates, nets))
+    nets = nets[order]
+    gates = gates[order]
+    del order
+    # drop duplicate (net, gate) pairs: a gate reading one net through
+    # several pins (or reading its own output) is one incidence
+    keep = np.ones(len(nets), dtype=bool)
+    if len(nets) > 1:
+        keep[1:] = (nets[1:] != nets[:-1]) | (gates[1:] != gates[:-1])
+    nets = nets[keep]
+    gates = gates[keep]
+    del keep
+    # edge per net with >= 2 distinct gates, in ascending net order
+    if len(nets):
+        starts = np.flatnonzero(
+            np.concatenate(([True], nets[1:] != nets[:-1]))
+        )
+        sizes = np.diff(np.concatenate((starts, [len(nets)])))
+    else:
+        starts = np.empty(0, dtype=np.int64)
+        sizes = starts
+    multi = sizes >= 2
+    edge_sizes = sizes[multi]
+    pin_keep = np.repeat(multi, sizes)
+    edge_pins = require_int64(gates[pin_keep])
+    num_edges = len(edge_sizes)
+    edge_ptr = np.zeros(num_edges + 1, dtype=np.int64)
+    np.cumsum(edge_sizes, dtype=np.int64, out=edge_ptr[1:])
+    if recorder.enabled:
+        recorder.incr("part.build.gates", n_gates)
+        recorder.incr("part.build.nets", csr.num_nets)
+        recorder.incr("part.build.pins", csr.num_pins)
+        recorder.incr("part.build.edges", num_edges)
+        recorder.incr("part.build.edge_pins", len(edge_pins))
+    return Hypergraph(
+        vertex_weight=np.ones(n_gates, dtype=np.int64),
+        edge_weight=np.ones(num_edges, dtype=np.int64),
+        edge_ptr=edge_ptr,
+        edge_pins=edge_pins,
+    )
 
 
 def project_hypergraph(hg: Hypergraph, mapping: np.ndarray) -> Hypergraph:

@@ -18,6 +18,8 @@ from __future__ import annotations
 import io
 from pathlib import Path
 
+import numpy as np
+
 from ..errors import HypergraphError
 from .hypergraph import Hypergraph
 
@@ -30,6 +32,13 @@ def dumps_hgr(hg: Hypergraph) -> str:
     Edge weights are emitted only if any differ from 1; likewise vertex
     weights.  Vertex ids are 1-based per the format.
     """
+    sizes = hg._edge_ptr[1:] - hg._edge_ptr[:-1]
+    if (sizes == 0).any():
+        bad = int(np.argmax(sizes == 0))
+        raise HypergraphError(
+            f"edge {bad} has no pins — the hgr format cannot represent "
+            "empty hyperedges (an empty pin line parses as a blank line)"
+        )
     has_ew = bool((hg.edge_weight != 1).any())
     has_vw = bool((hg.vertex_weight != 1).any())
     fmt = (1 if has_ew else 0) + (10 if has_vw else 0)

@@ -61,6 +61,23 @@ __all__ = ["PartitionState"]
 #: degrees vectorized; both compute identical integers.
 _VECTOR_DEGREE = 16
 
+#: plain-``int`` mirrors of the derived arrays, materialized together
+#: on first scalar access (:meth:`PartitionState.__getattr__`) and
+#: dropped wholesale on bulk rebuilds.  A batch-only refinement pass
+#: (``repro.core.batch_refine``) never touches them, so million-vertex
+#: states skip the O(n + m·k) ``tolist`` conversions entirely.
+_LAZY_MIRRORS = frozenset(
+    {
+        "_part_list",
+        "_lam_list",
+        "_counts_list",
+        "_counts_flat",
+        "_adj",
+        "_w_list",
+        "_vw_list",
+    }
+)
+
 
 class PartitionState:
     """k-way partition of a hypergraph with incremental cut tracking."""
@@ -120,16 +137,34 @@ class PartitionState:
         self._soed = int(
             (hg.edge_weight * np.maximum(self.edge_lambda - 1, 0)).sum()
         )
-        self._rebuild_mirrors()
+        self._invalidate_mirrors()
 
-    def _rebuild_mirrors(self) -> None:
-        """Refresh the plain-``int`` mirrors of the derived arrays.
+    def __getattr__(self, name: str):
+        # lazy plain-int mirrors: built all together on first scalar
+        # access, absent until then (vectorized-only callers never pay)
+        if name in _LAZY_MIRRORS:
+            self._build_mirrors()
+            return self.__dict__[name]
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
+        )
+
+    def _invalidate_mirrors(self) -> None:
+        """Drop the scalar mirrors; the next scalar access rebuilds."""
+        d = self.__dict__
+        for name in _LAZY_MIRRORS:
+            d.pop(name, None)
+
+    def _build_mirrors(self) -> None:
+        """Materialize the plain-``int`` mirrors of the derived arrays.
 
         The scalar move/gain paths read (and dual-write) native Python
         lists — NumPy scalar indexing costs ~10x a list index, which is
         the whole budget at netlist degrees.  The NumPy arrays remain
-        authoritative for every vectorized query; the mirrors carry the
-        same integers at all times.
+        authoritative for every vectorized query; once built, the
+        mirrors carry the same integers at all times (the batch
+        mutators keep them in sync *only while they exist* — see
+        :meth:`move_batch` / :meth:`restore`).
         """
         self._part_list: list[int] = self.part.tolist()
         self._lam_list: list[int] = self.edge_lambda.tolist()
@@ -177,7 +212,11 @@ class PartitionState:
 
     def part_of(self, v: int) -> int:
         """Partition currently holding vertex ``v``."""
-        return self._part_list[v]
+        part_list = self.__dict__.get("_part_list")
+        if part_list is not None:
+            return part_list[v]
+        # don't force the full scalar-mirror build for a point query
+        return int(self.part[v])
 
     def copy(self) -> "PartitionState":
         """Independent deep copy (shares the immutable hypergraph).
@@ -222,8 +261,9 @@ class PartitionState:
 
         The arrays are taken over as-is (no copy — the exporter already
         copied, and pickling across a process boundary copies again);
-        reconstructing a worker-side state costs only the plain-list
-        mirror rebuild, far below a ``recompute`` replay.
+        reconstructing a worker-side state is array adoption only — the
+        scalar mirrors stay unbuilt until a scalar move/gain needs
+        them, far below a ``recompute`` replay.
         """
         part, part_weight, edge_part_count, edge_lambda, cut, soed = arrays
         state = object.__new__(cls)
@@ -236,7 +276,6 @@ class PartitionState:
         state._cut = int(cut)
         state._soed = int(soed)
         state._reset_core_stats()
-        state._rebuild_mirrors()
         return state
 
     def snapshot(
@@ -266,11 +305,11 @@ class PartitionState:
 
         Data is copied *into* the existing arrays (``np.copyto``) so
         every outstanding view — notably the flat counts alias used by
-        the scalar move kernel — stays valid; only the plain-list
-        mirrors are rebuilt.  O(n + m·k) memcpy/tolist, independent of
-        how many moves happened since the snapshot, which is what makes
-        restore-and-replay cheaper than undoing a long FM suffix
-        move-by-move.
+        the scalar move kernel — stays valid; the plain-list mirrors
+        are rebuilt only if they were materialized.  O(n + m·k)
+        memcpy/tolist, independent of how many moves happened since the
+        snapshot, which is what makes restore-and-replay cheaper than
+        undoing a long FM suffix move-by-move.
         """
         part, counts, lam, pw, cut, soed = snap
         np.copyto(self.part, part)
@@ -279,9 +318,10 @@ class PartitionState:
         self._pw_list = list(pw)
         self._cut = cut
         self._soed = soed
-        self._part_list = part.tolist()
-        self._counts_list = counts.tolist()
-        self._lam_list = lam.tolist()
+        if "_part_list" in self.__dict__:
+            self._part_list = part.tolist()
+            self._counts_list = counts.tolist()
+            self._lam_list = lam.tolist()
 
     def pair_cut(self, a: int, b: int) -> int:
         """Weighted cut counted only between partitions ``a`` and ``b``.
@@ -624,16 +664,17 @@ class PartitionState:
         for p, wv in zip(to_arr.tolist(), moved_w.tolist()):
             pw[p] += wv
         self.part[vertices] = to_arr
-        part_list = self._part_list
-        for v, p in zip(vertices.tolist(), to_arr.tolist()):
-            part_list[v] = p
-        counts_list = self._counts_list
-        lam_list = self._lam_list
-        for e, row, nl in zip(
-            touched.tolist(), counts[touched].tolist(), new_lam.tolist()
-        ):
-            counts_list[e] = row
-            lam_list[e] = nl
+        if "_part_list" in self.__dict__:
+            part_list = self._part_list
+            for v, p in zip(vertices.tolist(), to_arr.tolist()):
+                part_list[v] = p
+            counts_list = self._counts_list
+            lam_list = self._lam_list
+            for e, row, nl in zip(
+                touched.tolist(), counts[touched].tolist(), new_lam.tolist()
+            ):
+                counts_list[e] = row
+                lam_list[e] = nl
         return gain, touched, old_lam
 
     def bulk_assign(self, vertices: Iterable[int], to_part: int) -> None:

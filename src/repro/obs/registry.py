@@ -62,6 +62,11 @@ METRIC_REGISTRY: dict[str, str] = {
     "part.ml.level_cut": "cut after refining one level (use .max for the hierarchy peak)",
     "part.ml.refine_rounds": "pairing+FM improvement rounds across all multilevel levels",
     "part.ml.uncoarsen_gain": "cut improvement realized during uncoarsening refinement",
+    "part.build.gates": "gates (hypergraph vertices) seen by the streamed build",
+    "part.build.nets": "nets (constants included) seen by the streamed build",
+    "part.build.pins": "gate input pins consumed by the streamed build",
+    "part.build.edges": "hyperedges kept (nets touching >= 2 distinct gates)",
+    "part.build.edge_pins": "pin incidences stored in the hyperedge CSR",
     "part.flatten.steps": "super-gates flattened to meet Formula 1",
     "part.redistribute.calls": "load-redistribution repairs attempted",
     "part.rounds": "pairing+FM improvement rounds until stability",
@@ -88,6 +93,11 @@ METRIC_REGISTRY: dict[str, str] = {
     # -- sequential baseline ----------------------------------------------
     "seq.gate_evals": "gate events of the sequential reference run",
     "seq.wall_time": "modeled sequential wall time (seconds)",
+    # -- streamed circuit construction (repro.circuits.stream) -------------
+    "circ.gates": "gates emitted by the array-native circuit generator",
+    "circ.nets": "nets allocated by the array-native circuit generator",
+    "circ.pins": "gate input pins emitted by the array-native generator",
+    "circ.stamps": "template instances stamped by the array-native generator",
     # -- bench harness ----------------------------------------------------
     "bench.rows": "result rows produced by the benchmark",
     "bench.best_k": "winning machine count selected by a (k, b) search",

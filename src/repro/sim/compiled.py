@@ -7,6 +7,16 @@ codes, freezes pin lists as tuples, and precomputes per-net sink lists.
 
 Sequential cells keep their input pin roles: ``dff`` = (d, clk),
 ``dffr`` = (d, clk, rst), ``dffe`` = (d, clk, en).
+
+Two construction paths feed the same structure:
+
+* the object-model :class:`~repro.verilog.netlist.Netlist` (parsed
+  circuits) — a per-gate Python pass, every mirror built eagerly;
+* the array-native :class:`~repro.verilog.netlist_csr.NetlistCSR`
+  (streamed million-gate circuits) — pure vectorized array work; the
+  Python-object mirrors (``gate_inputs`` / ``net_sinks`` tuples and the
+  plain-int lists) materialize lazily on first access, so array-only
+  consumers never pay the O(gates) tuple construction.
 """
 
 from __future__ import annotations
@@ -17,9 +27,17 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..verilog.netlist import CONST0, CONST1, Netlist
+from ..verilog.netlist_csr import NetlistCSR
 from .logic import GATE_CODES, SEQ_CODE_MIN, VX, eval_gate_coded
 
 __all__ = ["CompiledCircuit", "compile_circuit", "pad_pin_matrix"]
+
+#: Python-object mirrors of the array state, built together on first
+#: access through :meth:`CompiledCircuit.__getattr__` when the source
+#: was a :class:`NetlistCSR` (the object-model path sets them eagerly).
+_LAZY_MIRRORS = frozenset(
+    {"gate_inputs", "net_sinks", "gate_code_list", "gate_output_list"}
+)
 
 
 class CompiledCircuit:
@@ -72,10 +90,13 @@ class CompiledCircuit:
         "gate_output_list",
     )
 
-    def __init__(self, netlist: Netlist) -> None:
+    def __init__(self, netlist: Netlist | NetlistCSR) -> None:
         self.netlist = netlist
         self.num_gates = netlist.num_gates
         self.num_nets = netlist.num_nets
+        if isinstance(netlist, NetlistCSR):
+            self._init_from_csr(netlist)
+            return
         codes = np.zeros(self.num_gates, dtype=np.int8)
         for g in netlist.gates:
             code = GATE_CODES.get(g.gtype)
@@ -127,6 +148,84 @@ class CompiledCircuit:
         # per compiled circuit, not once per simulator construction
         self.gate_code_list: list[int] = self.gate_code.tolist()
         self.gate_output_list: list[int] = self.gate_output.tolist()
+
+    def _init_from_csr(self, csr: NetlistCSR) -> None:
+        """Vectorized compilation of an array-native netlist.
+
+        No per-gate Python loop: the type table maps through one fancy
+        index, the pin CSR is adopted as-is, the sink CSR falls out of
+        one stable sort of the pins by net, and the padded pin matrix
+        is a single masked scatter.  The tuple/list mirrors are *not*
+        built here — see :meth:`__getattr__`.
+        """
+        table = np.empty(max(1, len(csr.gate_types)), dtype=np.int8)
+        for i, name in enumerate(csr.gate_types):
+            code = GATE_CODES.get(name)
+            if code is None:
+                raise SimulationError(
+                    f"gate type {name!r} is unknown to the simulator"
+                )
+            table[i] = code
+        self.gate_code = (
+            table[csr.gate_code] if self.num_gates
+            else np.zeros(0, dtype=np.int8)
+        )
+        self.gate_output = csr.gate_output
+        init = np.full(self.num_nets, VX, dtype=np.int8)
+        init[CONST0] = 0
+        init[CONST1] = 1
+        self.initial_values = init
+        self.inputs = tuple(csr.inputs.tolist())
+        self.outputs = tuple(csr.outputs.tolist())
+        self.pin_offsets = csr.pin_ptr
+        self.pin_net = csr.pin_net
+        arity = np.diff(csr.pin_ptr)
+        # sinks per net in (gid, pin position) order — exactly the
+        # append order of Netlist.add_gate, duplicates preserved
+        reading = np.repeat(
+            np.arange(self.num_gates, dtype=np.int64), arity
+        )
+        order = np.argsort(self.pin_net, kind="stable")
+        self.sink_gate = reading[order]
+        sink_offsets = np.zeros(self.num_nets + 1, dtype=np.int64)
+        counts = np.bincount(self.pin_net, minlength=self.num_nets)
+        np.cumsum(counts, dtype=np.int64, out=sink_offsets[1:])
+        self.sink_offsets = sink_offsets
+        self.max_arity = int(arity.max()) if self.num_gates else 0
+        mask = (
+            np.arange(self.max_arity, dtype=np.int64)[None, :]
+            < arity[:, None]
+        )
+        matrix = np.zeros((self.num_gates, self.max_arity), dtype=np.int64)
+        matrix[mask] = self.pin_net
+        self.pin_matrix = matrix
+        self.pin_mask = mask
+
+    def __getattr__(self, name: str):
+        # array-native compilation leaves the Python-object mirrors
+        # unset (their __slots__ raise AttributeError); first scalar
+        # access lands here and materializes all of them together
+        if name in _LAZY_MIRRORS:
+            self._build_scalar_mirrors()
+            return getattr(self, name)
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
+        )
+
+    def _build_scalar_mirrors(self) -> None:
+        """Materialize the tuple/list mirrors from the CSR arrays."""
+        ptr = self.pin_offsets.tolist()
+        flat = self.pin_net.tolist()
+        self.gate_inputs = tuple(
+            tuple(flat[ptr[g]:ptr[g + 1]]) for g in range(self.num_gates)
+        )
+        sptr = self.sink_offsets.tolist()
+        sflat = self.sink_gate.tolist()
+        self.net_sinks = tuple(
+            tuple(sflat[sptr[n]:sptr[n + 1]]) for n in range(self.num_nets)
+        )
+        self.gate_code_list = self.gate_code.tolist()
+        self.gate_output_list = self.gate_output.tolist()
 
     def is_sequential_gate(self, gid: int) -> bool:
         """True if gate ``gid`` is a state-holding cell."""

@@ -1,0 +1,268 @@
+"""Array-native elaborated netlist (the streamed construction target).
+
+:class:`~repro.verilog.netlist.Netlist` models every gate as a frozen
+dataclass and every net's sink list as a Python list — the right shape
+for hierarchy-aware partitioning and named diagnostics, but at the
+paper's true ~1.2 M-gate scale the per-gate objects alone cost
+gigabytes and minutes.  :class:`NetlistCSR` is the flat alternative:
+the same elaborated circuit as five arrays (gate type codes, gate
+output nets, a CSR input-pin list, primary I/O id vectors) with **no
+per-gate Python objects at all**.  The streamed circuit generators
+(:mod:`repro.circuits.stream`) emit it directly, and the hypergraph
+and simulation substrates consume it without ever materializing the
+object model; a small-config equivalence test proves the two paths
+describe the same circuit gate-for-gate
+(``tests/test_stream_circuits.py``).
+
+Net and gate ids are dense integers exactly as in :class:`Netlist`,
+with the three constant nets pinned at ids 0..2.  Construction-side
+arrays may arrive int32 (:func:`repro.hypergraph.dtypes.index_dtype`);
+the frozen object widens them once so every downstream vectorized
+kernel sees the int64 it expects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NetlistError
+from .netlist import CONST0, CONST1, CONSTX, _NUM_CONST_NETS
+
+__all__ = ["ChunkedIntArray", "NetlistCSR"]
+
+
+class ChunkedIntArray:
+    """Append-only int accumulator with bounded-size chunks.
+
+    The streamed builders accumulate pin and gate arrays whose final
+    length is unknown up front.  Growing one ``np.ndarray`` by
+    repeated ``concatenate`` is O(n^2); collecting Python lists costs
+    ~28 bytes per int.  This accumulator appends into preallocated
+    fixed-size chunks (``chunk`` elements each) and concatenates
+    exactly once at :meth:`freeze` — peak transient memory is the
+    result plus one chunk, and every element is stored at ``dtype``
+    width throughout.
+    """
+
+    def __init__(self, dtype: np.dtype, chunk: int = 1 << 18) -> None:
+        if chunk < 1:
+            raise ValueError(f"chunk size must be >= 1, got {chunk}")
+        self.dtype = np.dtype(dtype)
+        self.chunk = int(chunk)
+        self._full: list[np.ndarray] = []
+        self._head = np.empty(self.chunk, dtype=self.dtype)
+        self._fill = 0
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def extend(self, values: np.ndarray) -> None:
+        """Append a 1-D array (copied into the chunks at ``dtype``)."""
+        values = np.ascontiguousarray(values).reshape(-1)
+        pos = 0
+        remaining = len(values)
+        while remaining:
+            space = self.chunk - self._fill
+            take = remaining if remaining < space else space
+            self._head[self._fill:self._fill + take] = \
+                values[pos:pos + take]
+            self._fill += take
+            pos += take
+            remaining -= take
+            if self._fill == self.chunk:
+                self._full.append(self._head)
+                self._head = np.empty(self.chunk, dtype=self.dtype)
+                self._fill = 0
+        self._len += len(values)
+
+    def append(self, value: int) -> None:
+        """Append one scalar."""
+        if self._fill == self.chunk:
+            self._full.append(self._head)
+            self._head = np.empty(self.chunk, dtype=self.dtype)
+            self._fill = 0
+        self._head[self._fill] = value
+        self._fill += 1
+        self._len += 1
+
+    def freeze(self) -> np.ndarray:
+        """Concatenate the chunks into one array (single use)."""
+        parts = self._full + [self._head[:self._fill]]
+        out = np.concatenate(parts) if len(parts) > 1 \
+            else parts[0].copy()
+        self._full = []
+        self._head = np.empty(0, dtype=self.dtype)
+        self._fill = 0
+        return out
+
+
+class NetlistCSR:
+    """Flat array form of an elaborated netlist.
+
+    Attributes
+    ----------
+    top:
+        Top module name (diagnostic only).
+    gate_types:
+        Tuple of primitive names; ``gate_code[g]`` indexes it.
+    gate_code:
+        ``(num_gates,)`` small-int array of type codes.
+    gate_output:
+        ``(num_gates,)`` int64 output net id per gate.
+    pin_ptr / pin_net:
+        CSR input-pin list: gate ``g`` reads nets
+        ``pin_net[pin_ptr[g]:pin_ptr[g + 1]]`` in primitive pin order
+        (``dff``: d, clk — the same convention as :class:`Netlist`).
+    inputs / outputs:
+        Primary I/O net ids in port declaration order (int64).
+    num_nets:
+        Total net count including the three constants.
+    """
+
+    __slots__ = (
+        "top", "gate_types", "gate_code", "gate_output",
+        "pin_ptr", "pin_net", "inputs", "outputs", "num_nets",
+    )
+
+    def __init__(
+        self,
+        top: str,
+        gate_types: tuple[str, ...],
+        gate_code: np.ndarray,
+        gate_output: np.ndarray,
+        pin_ptr: np.ndarray,
+        pin_net: np.ndarray,
+        inputs: np.ndarray,
+        outputs: np.ndarray,
+        num_nets: int,
+    ) -> None:
+        self.top = top
+        self.gate_types = tuple(gate_types)
+        self.gate_code = np.ascontiguousarray(gate_code)
+        self.gate_output = np.ascontiguousarray(gate_output, dtype=np.int64)
+        self.pin_ptr = np.ascontiguousarray(pin_ptr, dtype=np.int64)
+        self.pin_net = np.ascontiguousarray(pin_net, dtype=np.int64)
+        self.inputs = np.ascontiguousarray(inputs, dtype=np.int64)
+        self.outputs = np.ascontiguousarray(outputs, dtype=np.int64)
+        self.num_nets = int(num_nets)
+        self.validate()
+
+    @classmethod
+    def from_netlist(cls, netlist) -> "NetlistCSR":
+        """Lower an object-model :class:`Netlist` to arrays.
+
+        One Python pass over the gates — meant for tests and for
+        feeding mid-scale parsed circuits into the array-native
+        consumers, not for the million-gate path (which never builds
+        the object model in the first place).
+        """
+        gtypes: list[str] = []
+        type_code: dict[str, int] = {}
+        n = netlist.num_gates
+        code = np.empty(n, dtype=np.int16)
+        out = np.empty(n, dtype=np.int64)
+        counts = np.empty(n, dtype=np.int64)
+        pins: list[int] = []
+        for gate in netlist.gates:
+            c = type_code.get(gate.gtype)
+            if c is None:
+                c = type_code[gate.gtype] = len(gtypes)
+                gtypes.append(gate.gtype)
+            code[gate.gid] = c
+            out[gate.gid] = gate.output
+            counts[gate.gid] = len(gate.inputs)
+            pins.extend(gate.inputs)
+        ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, dtype=np.int64, out=ptr[1:])
+        return cls(
+            top=netlist.top,
+            gate_types=tuple(gtypes),
+            gate_code=code,
+            gate_output=out,
+            pin_ptr=ptr,
+            pin_net=np.array(pins, dtype=np.int64),
+            inputs=np.array(netlist.inputs, dtype=np.int64),
+            outputs=np.array(netlist.outputs, dtype=np.int64),
+            num_nets=netlist.num_nets,
+        )
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def num_gates(self) -> int:
+        """Number of primitive gates/cells."""
+        return len(self.gate_code)
+
+    @property
+    def num_pins(self) -> int:
+        """Total gate input-pin count."""
+        return len(self.pin_net)
+
+    def gate_type(self, gid: int) -> str:
+        """Primitive name of gate ``gid``."""
+        return self.gate_types[int(self.gate_code[gid])]
+
+    def gate_inputs(self, gid: int) -> np.ndarray:
+        """Input net ids of gate ``gid`` in pin order (view)."""
+        return self.pin_net[self.pin_ptr[gid]:self.pin_ptr[gid + 1]]
+
+    def gate_name(self, gid: int) -> str:
+        """Synthetic stable gate name (the streamed path carries no
+        hierarchical name strings — that is the point)."""
+        return f"g{gid}"
+
+    def validate(self) -> None:
+        """Structural sanity checks; raises :class:`NetlistError`.
+
+        The array analogue of :meth:`Netlist.validate` plus the
+        single-driver rule (cheap here: one ``np.unique`` over the
+        output array instead of a per-gate wiring pass).
+        """
+        n_gates = self.num_gates
+        if len(self.gate_output) != n_gates:
+            raise NetlistError("gate_output length mismatch")
+        if len(self.pin_ptr) != n_gates + 1:
+            raise NetlistError("pin_ptr length mismatch")
+        if len(self.pin_net) != (int(self.pin_ptr[-1]) if n_gates else 0):
+            raise NetlistError("pin_net length does not match pin_ptr")
+        if n_gates and (np.diff(self.pin_ptr) < 0).any():
+            raise NetlistError("pin_ptr is not monotone")
+        if n_gates:
+            if int(self.gate_code.min()) < 0 or \
+                    int(self.gate_code.max()) >= len(self.gate_types):
+                raise NetlistError("gate_code outside the gate_types table")
+            if int(self.gate_output.min()) < _NUM_CONST_NETS:
+                bad = int(np.argmax(self.gate_output < _NUM_CONST_NETS))
+                raise NetlistError(f"gate {bad} drives a constant net")
+            if int(self.gate_output.max()) >= self.num_nets:
+                raise NetlistError("gate output net id out of range")
+            if len(np.unique(self.gate_output)) != n_gates:
+                raise NetlistError("two gates drive the same net")
+        if len(self.pin_net) and (
+            int(self.pin_net.min()) < 0
+            or int(self.pin_net.max()) >= self.num_nets
+        ):
+            raise NetlistError("gate input net id out of range")
+        for label, ids in (("input", self.inputs), ("output", self.outputs)):
+            if len(ids) and (
+                int(ids.min()) < 0 or int(ids.max()) >= self.num_nets
+            ):
+                raise NetlistError(f"primary {label} net id out of range")
+        if len(self.inputs):
+            driven = np.isin(self.inputs, self.gate_output)
+            if driven.any():
+                bad = int(self.inputs[np.argmax(driven)])
+                raise NetlistError(
+                    f"primary input net {bad} is also driven by a gate"
+                )
+            if np.isin(self.inputs,
+                       (CONST0, CONST1, CONSTX)).any():
+                raise NetlistError("a primary input is a constant net")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NetlistCSR(top={self.top!r}, gates={self.num_gates}, "
+            f"nets={self.num_nets}, pins={self.num_pins}, "
+            f"inputs={len(self.inputs)}, outputs={len(self.outputs)})"
+        )

@@ -1,0 +1,124 @@
+"""IO roundtrips for array-native artifacts.
+
+The streamed construction path (:mod:`repro.circuits.stream`) emits
+hypergraphs and partitions straight from CSR arrays; this module pins
+down that the persistence layers (:mod:`repro.hypergraph.io`,
+:mod:`repro.core.partition_io`) survive that output faithfully:
+dtype preservation (everything frozen is int64, weights past 2^31
+included), empty-edge handling, and stability of large ids/weights
+through the text formats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.memctrl import MemCtrlConfig, memctrl_stream, memctrl_verilog
+from repro.circuits.noc import NocConfig, noc_stream, noc_verilog
+from repro.core import (
+    design_driven_partition,
+    dumps_partition,
+    loads_partition,
+)
+from repro.errors import HypergraphError
+from repro.hypergraph import Hypergraph, dumps_hgr, loads_hgr
+from repro.hypergraph.build import flat_hypergraph, streamed_flat_hypergraph
+from repro.verilog import compile_verilog
+
+_NOC = NocConfig(rows=2, cols=2, width=3)
+_MEM = MemCtrlConfig(banks=2, abits=3, width=3, queue=1)
+
+
+@pytest.mark.parametrize(
+    "stream_fn,cfg",
+    [(noc_stream, _NOC), (memctrl_stream, _MEM)],
+    ids=["noc", "memctrl"],
+)
+class TestStreamedHypergraphRoundtrip:
+    def test_hgr_preserves_structure(self, stream_fn, cfg):
+        hg = streamed_flat_hypergraph(stream_fn(cfg))
+        rt = loads_hgr(dumps_hgr(hg))
+        assert rt.num_vertices == hg.num_vertices
+        assert rt.num_edges == hg.num_edges
+        assert np.array_equal(rt.vertex_weight, hg.vertex_weight)
+        assert np.array_equal(rt.edge_weight, hg.edge_weight)
+        # pin lists survive (hgr readback sorts within an edge, and the
+        # streamed build already emits sorted deduped pins)
+        assert np.array_equal(rt._edge_ptr, hg._edge_ptr)
+        assert np.array_equal(rt._edge_pins, hg._edge_pins)
+
+    def test_reload_dtypes_are_int64(self, stream_fn, cfg):
+        """The frozen substrate is int64-only; a reload must not narrow."""
+        rt = loads_hgr(dumps_hgr(streamed_flat_hypergraph(stream_fn(cfg))))
+        for arr in (rt._edge_ptr, rt._edge_pins, rt.vertex_weight, rt.edge_weight):
+            assert arr.dtype == np.int64
+
+
+class TestLargeValueStability:
+    def test_weights_past_int32_roundtrip(self):
+        """int64 weights survive the text format exactly (no float path)."""
+        big_vw = [1, (1 << 40) + 3, 7]
+        big_ew = [(1 << 35) + 1, 5]
+        hg = Hypergraph.from_edges(big_vw, [[0, 1], [1, 2]], big_ew)
+        rt = loads_hgr(dumps_hgr(hg))
+        assert rt.vertex_weight.tolist() == big_vw
+        assert rt.edge_weight.tolist() == big_ew
+        assert rt.vertex_weight.dtype == np.int64
+        assert rt.edge_weight.dtype == np.int64
+
+
+class TestEmptyEdgeHandling:
+    def test_zero_edge_hypergraph_roundtrips(self):
+        hg = Hypergraph.from_edges([2, 3], [])
+        rt = loads_hgr(dumps_hgr(hg))
+        assert rt.num_vertices == 2
+        assert rt.num_edges == 0
+        assert rt.vertex_weight.tolist() == [2, 3]
+
+    def test_empty_edge_rejected_with_clear_error(self):
+        """An empty pin line would parse as a blank line — refuse to
+        emit it rather than writing a file that cannot be read back."""
+        hg = Hypergraph.from_edges([1, 1], [[0, 1], []])
+        with pytest.raises(HypergraphError, match="no pins"):
+            dumps_hgr(hg)
+
+
+class TestPartitionRoundtripOnStreamTwin:
+    """Partition persistence for circuits that exist in both registries.
+
+    ``partition_io`` is keyed by gate names, so it binds to the parsed
+    twin of a streamed family — the same circuit the array-native path
+    emits, gate for gate (see test_stream_circuits).
+    """
+
+    def test_noc_partition_roundtrip(self):
+        netlist = compile_verilog(noc_verilog(_NOC))
+        result = design_driven_partition(netlist, k=3, b=10.0, seed=1)
+        loaded = loads_partition(dumps_partition(result), netlist)
+        assert loaded.cut_size == result.cut_size
+        assert loaded.assignment.dtype == np.int64
+        assert np.array_equal(
+            loaded.gate_assignment(), result.gate_assignment()
+        )
+
+    def test_memctrl_partition_roundtrip(self):
+        netlist = compile_verilog(memctrl_verilog(_MEM))
+        result = design_driven_partition(netlist, k=2, b=10.0, seed=1)
+        loaded = loads_partition(dumps_partition(result), netlist)
+        assert loaded.cut_size == result.cut_size
+        assert np.array_equal(
+            loaded.part_weights, result.part_weights
+        )
+
+    def test_flat_hypergraph_matches_after_reload(self):
+        """The hypergraph a reloaded clustering induces matches the
+        original — partition IO does not perturb the array substrate."""
+        netlist = compile_verilog(noc_verilog(_NOC))
+        result = design_driven_partition(netlist, k=3, b=10.0, seed=1)
+        loaded = loads_partition(dumps_partition(result), netlist)
+        a = flat_hypergraph(netlist)
+        b = flat_hypergraph(netlist)
+        assert np.array_equal(a._edge_ptr, b._edge_ptr)
+        assert np.array_equal(a._edge_pins, b._edge_pins)
+        assert loaded.clustering.netlist is netlist

@@ -173,6 +173,33 @@ class TestMultilevelKway:
         assert r.coarse_vertices == hg.num_vertices
         assert r.cut_size == hyperedge_cut(hg, r.assignment)
 
+    def test_batch_kick_gate_by_level_size(self, hg, monkeypatch):
+        """Levels above ``batch_kick_vertex_limit`` refine without kick
+        perturbation (the million-vertex wall guard); levels at or
+        below it keep the refiner's full default budget."""
+        import repro.core.multilevel as ml
+
+        seen = []
+        real = ml.batch_refine
+
+        def spy(state, constraint, **kw):
+            seen.append((state.hg.num_vertices, kw.get("max_kicks")))
+            return real(state, constraint, **kw)
+
+        monkeypatch.setattr(ml, "batch_refine", spy)
+        cfg = MultilevelConfig(batch_kick_vertex_limit=600)
+        r = multilevel_kway_partition(hg, 3, 10.0, seed=1,
+                                      refiner="batch", config=cfg)
+        assert r.balanced
+        assert seen, "batch refiner never invoked"
+        for n, kicks in seen:
+            assert kicks == (8 if n <= 600 else 0), (n, kicks)
+        assert any(n > 600 for n, _ in seen)
+        assert any(n <= 600 for n, _ in seen)
+        # the default limit sits above every committed benchmark size,
+        # so existing results are unchanged by the gate
+        assert MultilevelConfig().batch_kick_vertex_limit == 200_000
+
     def test_to_simulation_partitions_every_gate(self):
         netlist = load_circuit("cpu-test")
         r = multilevel_flat_partition(netlist, 3, 10.0, seed=0)

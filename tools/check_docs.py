@@ -61,7 +61,7 @@ _INVOCATION_RE = re.compile(
 )
 _ADD_ARGUMENT_RE = re.compile(r"add_argument\(\s*['\"](--[a-z][a-z0-9-]*)['\"]")
 _METRIC_RE = re.compile(
-    r"(?<![\w.])(?:part|tw|seq|sim|bench|partition|obs|refine|presim|sweep)"
+    r"(?<![\w.])(?:part|tw|seq|sim|bench|partition|obs|refine|presim|sweep|circ)"
     r"\.(?:[a-z0-9_]+\.)*(?:[a-z0-9_]+|\*)"
 )
 

@@ -45,6 +45,9 @@ STEPS: list[tuple[str, list[str], tuple[str, ...]]] = [
     ("obs selfcheck",
      [sys.executable, "-m", "repro", "obs", "selfcheck"],
      ("src",)),
+    ("scale-ladder smoke rung",
+     [sys.executable, "benchmarks/bench_scale_ladder.py", "--rungs", "1"],
+     ("src",)),
 ]
 
 
