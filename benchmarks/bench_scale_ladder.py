@@ -60,6 +60,16 @@ BUILD_BYTES_PER_PIN = 160
 #: budget gate applies above it
 MIN_PINS_FOR_BUDGET = 1_000_000
 
+#: recorder phases reported per rung as the partition wall breakdown
+#: (quarantined with the other host walls; asserted present in smoke
+#: mode by tools/run_checks.py's --rungs 1 step)
+PARTITION_PHASES = (
+    "partition.coarsen",
+    "partition.initial",
+    "partition.uncoarsen",
+    "partition.batch_refine",
+)
+
 
 def run_rung(name: str, k: int) -> dict:
     """One ladder rung, measured in a fresh interpreter (clean VmHWM)."""
@@ -98,6 +108,7 @@ def child(name: str, k: int) -> None:
             hg, k, B, seed=SEED, workers=1, recorder=rec, refiner="batch"
         )
         t3 = time.perf_counter()
+    phase_walls = rec.host_timings()
     print(json.dumps({
         "rung": name,
         "k": k,
@@ -113,6 +124,12 @@ def child(name: str, k: int) -> None:
         "baseline_rss_kb": baseline_kb,
         "build_peak_rss_kb": build_peak_kb,
         "peak_rss_kb": sampler.peak_rss_kb,
+        # per-phase partition wall breakdown (recorder phases) — the
+        # coarsen/refine split the vectorization work is gated on
+        "phase_s": {
+            phase: phase_walls.get(phase, 0.0)
+            for phase in PARTITION_PHASES
+        },
         "counters": {
             key: int(val) for key, val in sorted(rec.counters.items())
             if key.startswith(("circ.", "part.build."))
@@ -128,6 +145,10 @@ def assert_gates(results: list[dict]) -> None:
     for r in results:
         assert r["balanced"], f"rung {r['rung']} missed Formula 1 balance"
         assert r["cut"] > 0, f"rung {r['rung']} produced a trivial cut"
+        missing = [p for p in PARTITION_PHASES if p not in r["phase_s"]]
+        assert not missing, (
+            f"rung {r['rung']} phase breakdown missing {missing}"
+        )
         if r["pins"] >= MIN_PINS_FOR_BUDGET:
             bpp = build_bytes_per_pin(r)
             assert bpp <= BUILD_BYTES_PER_PIN, (
@@ -170,7 +191,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     walls = "\n".join(
         f"  {r['rung']:>14}: build {r['build_s']:.1f}s + hg "
-        f"{r['hypergraph_s']:.1f}s + partition {r['partition_s']:.1f}s, "
+        f"{r['hypergraph_s']:.1f}s + partition {r['partition_s']:.1f}s "
+        f"(coarsen {r['phase_s']['partition.coarsen']:.1f}s, "
+        f"refine {r['phase_s']['partition.batch_refine']:.1f}s), "
         f"peak RSS {r['peak_rss_kb'] / 1024:.0f} MB "
         f"({build_bytes_per_pin(r):.0f} B/pin build overhead)"
         for r in results
@@ -192,6 +215,8 @@ def main(argv: list[str] | None = None) -> int:
         host_timings[f"rung.{r['rung']}.hypergraph_s"] = r["hypergraph_s"]
         host_timings[f"rung.{r['rung']}.partition_s"] = r["partition_s"]
         host_timings[f"rung.{r['rung']}.peak_rss_kb"] = r["peak_rss_kb"]
+        for phase, wall in r["phase_s"].items():
+            host_timings[f"rung.{r['rung']}.{phase}_s"] = wall
         for key, val in r["counters"].items():
             counters[key] = counters.get(key, 0) + val
     emit(

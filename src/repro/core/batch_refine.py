@@ -12,9 +12,13 @@ PAPERS.md).  Each round is three vectorized steps:
 
 1. **gather** — the cut boundary (every vertex on a λ>1 hyperedge,
    maintained incrementally as a per-vertex cut-edge degree) is scored
-   in one :meth:`~repro.hypergraph.partition_state.PartitionState.move_gains`
-   CSR batch query per destination block: a ``(k, |boundary|)`` exact
-   integer gain matrix with no per-vertex Python work;
+   through the fused
+   :meth:`~repro.hypergraph.partition_state.PartitionState.move_gains_matrix`
+   CSR kernel into ``(k, |boundary|)`` exact integer cut-gain and SOED
+   matrices with no per-vertex Python work — *incrementally*: gains
+   are cached per vertex and only the boundary slice whose incident
+   edges were touched by the previous batches is re-scored
+   (``part.batch.gathered`` counts the re-scored vertices);
 2. **select** — a conflict-free move batch is chosen vectorially.
    Candidates (the lexicographically best (cut, SOED)-improving
    destination per vertex) are ranked by ``(-cut gain, -soed gain,
@@ -224,6 +228,21 @@ def _batch_refine(
     moves = 0
     floor = np.iinfo(np.int64).min // 4
 
+    # incremental gather state: exact (T, n) cut-gain / SOED-gain
+    # caches plus a staleness mask.  A vertex's gains can only change
+    # when one of its incident edges' partition counts change, i.e.
+    # when it is a pin of an edge touched by an applied batch — so
+    # apply_batch marks exactly those pins stale and gather re-scores
+    # only the stale part of the boundary.  Cached entries are the full
+    # exact matrices (every target, not just spanned blocks), so both
+    # the greedy descent and kick() read numbers identical to a full
+    # re-gather — the determinism contract is untouched.
+    tcount = len(targets)
+    gain_cache = np.zeros((tcount, hg.num_vertices), dtype=np.int64)
+    soed_cache = np.zeros((tcount, hg.num_vertices), dtype=np.int64)
+    stale = np.ones(hg.num_vertices, dtype=bool)
+    gather_chunk = 1 << 16  # bounds the (pins, T) transients at XL scale
+
     def race(cand_v: np.ndarray, cand_t: np.ndarray) -> np.ndarray:
         # conflict-free selection: scatter-min each candidate's rank
         # onto its incident hyperedges; a candidate survives only when,
@@ -290,28 +309,39 @@ def _batch_refine(
                 "(conflict filter bug)"
             )
         new_lam = state.edge_lambda[touched]
-        for flipped, delta in (
-            (touched[(old_lam == 1) & (new_lam > 1)], 1),
-            (touched[(old_lam > 1) & (new_lam == 1)], -1),
-        ):
-            if len(flipped):
-                pins, _ = hg.edges_pins(flipped)
-                np.add.at(cut_deg, pins, delta)
+        if len(touched):
+            # one gather serves both incremental structures: every pin
+            # of a touched edge goes stale for the gain caches, and the
+            # pins of edges whose cut status flipped (λ crossing 1)
+            # adjust the boundary's cut-edge degrees
+            pins, cnt = hg.edges_pins(touched)
+            stale[pins] = True
+            delta = ((old_lam == 1) & (new_lam > 1)).astype(np.int64) \
+                - ((old_lam > 1) & (new_lam == 1)).astype(np.int64)
+            flipped = delta != 0
+            if flipped.any():
+                np.add.at(cut_deg, pins[np.repeat(flipped, cnt)],
+                          np.repeat(delta[flipped], cnt[flipped]))
         rounds += 1
         moves += len(sel_v)
 
     def gather(boundary: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        # one batch gain query per destination block — the
-        # (len(targets), |boundary|) exact integer cut-gain matrix,
-        # plus the matching connectivity (SOED) gains as the secondary
-        # objective that escapes cut plateaus
-        gain_mat = np.stack(
-            [state.move_gains(boundary, p) for p in targets]
-        )
-        soed_mat = np.stack(
-            [state.move_soed_gains(boundary, p) for p in targets]
-        )
-        return gain_mat, soed_mat
+        # boundary-restricted incremental gather: re-score only the
+        # stale slice of the boundary with the fused
+        # move_gains_matrix kernel (cut + SOED, all targets, one CSR
+        # gather), serve the rest from the caches.  The first round
+        # scores the whole boundary; later rounds only the pins of
+        # edges the previous batches actually touched.
+        need = boundary[stale[boundary]]
+        for s in range(0, len(need), gather_chunk):
+            chunk = need[s:s + gather_chunk]
+            g, so = state.move_gains_matrix(chunk, targets_arr)
+            gain_cache[:, chunk] = g
+            soed_cache[:, chunk] = so
+        stale[need] = False
+        if recorder.enabled:
+            recorder.incr("part.batch.gathered", len(need))
+        return gain_cache[:, boundary], soed_cache[:, boundary]
 
     def current_boundary(frozen: np.ndarray | None = None) -> np.ndarray:
         boundary = np.flatnonzero(cut_deg > 0)
@@ -470,6 +500,7 @@ def _batch_refine(
         if (state.cut_size, state.connectivity) >= snap_key:
             state.restore(snap)
             cut_deg = snap_cut_deg
+            stale[:] = True  # caches describe the abandoned exploration
             rounds, moves = snap_rounds, snap_moves
             break
     return BatchRefineResult(rounds, moves, cut_before - state.cut_size,

@@ -175,16 +175,61 @@ class MultilevelKwayResult:
 # -- coarsening -------------------------------------------------------------
 
 
-def _edge_pin_lists(hg: Hypergraph) -> list[list[int]]:
-    """Per-edge pin lists as plain Python ints (one bulk CSR gather)."""
-    flat, counts = hg.edges_pins(np.arange(hg.num_edges, dtype=np.int64))
-    flat_list = flat.tolist()
-    out: list[list[int]] = []
-    pos = 0
-    for c in counts.tolist():
-        out.append(flat_list[pos:pos + c])
-        pos += c
-    return out
+def _matching_candidates(
+    hg: Hypergraph, large_edge_limit: int
+) -> tuple[list[int], list[int], list[float]]:
+    """Per-vertex heavy-edge candidate CSR: ``(ptr, neighbour, score)``.
+
+    One vectorized pass over the whole level precomputes, for every
+    vertex ``v``, its candidate neighbours (ascending ids) and their
+    connectivity scores ``sum(w_e / (|e| - 1))`` over shared scoring
+    edges — the quantities the matching loop's per-vertex dict used to
+    rebuild from scratch at every visit.  Scores are independent of
+    the visit order and of who is already matched (matched candidates
+    are *filtered*, never re-scored), so hoisting them out of the loop
+    is exact.
+
+    Bit-identity of the float scores: the (owner, candidate) pair
+    expansion enumerates incidences in the scalar loop's exact
+    encounter order (incident edges ascending, pins ascending within
+    each edge), the grouping ``lexsort`` is stable, and ``np.add.at``
+    accumulates sequentially in index order — so every score is the
+    same left-to-right float sum the dict accumulation produced.
+    """
+    n = hg.num_vertices
+    sizes = np.diff(hg._edge_ptr)
+    scoring = (sizes >= 2) & (sizes <= large_edge_limit)
+    # same IEEE double as the scalar `edge_weight[e] / (size - 1)`
+    edge_score = hg.edge_weight / np.maximum(sizes - 1, 1)
+
+    # expand each (vertex, scoring edge) incidence to the edge's pins —
+    # vertex-major, edges ascending per vertex, pins ascending per edge
+    deg = np.diff(hg._vertex_ptr)
+    owner = np.repeat(np.arange(n, dtype=np.int64), deg)
+    inc_e = hg._vertex_pins
+    keep = scoring[inc_e]
+    owner = owner[keep]
+    inc_e = inc_e[keep]
+    cand, cnt = hg.edges_pins(inc_e)
+    owner = np.repeat(owner, cnt)
+    w = np.repeat(edge_score[inc_e], cnt)
+    sel = cand != owner
+    owner, cand, w = owner[sel], cand[sel], w[sel]
+
+    # group by (owner, candidate): stable sort keeps encounter order
+    # within each pair, np.add.at sums in that exact order
+    order = np.lexsort((cand, owner))
+    owner, cand, w = owner[order], cand[order], w[order]
+    new = np.ones(len(owner), dtype=bool)
+    new[1:] = (owner[1:] != owner[:-1]) | (cand[1:] != cand[:-1])
+    gid = np.cumsum(new) - 1
+    ngroups = int(gid[-1]) + 1 if len(gid) else 0
+    score = np.zeros(ngroups, dtype=np.float64)
+    np.add.at(score, gid, w)
+    g_owner = owner[new]
+    ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(g_owner, minlength=n), out=ptr[1:])
+    return ptr.tolist(), cand[new].tolist(), score.tolist()
 
 
 def _heavy_edge_matching(
@@ -203,8 +248,83 @@ def _heavy_edge_matching(
     locality signal (clock/reset nets) and are ignored for *scoring*
     only — they still project and still count toward cuts.
 
+    Candidate neighbours and scores are precomputed for the whole
+    level in one vectorized pass (:func:`_matching_candidates`); the
+    sequential visit loop only filters matched/over-weight candidates
+    and takes the first maximum — ascending candidate ids and strict
+    ``>`` keep the lowest id on ties, exactly the retained reference
+    (:func:`_heavy_edge_matching_reference`, pinned bit-identical by
+    ``tests/test_coarsen_vectorized.py``).
+
     Returns ``(mapping, matched_pairs, match_score)`` where ``mapping``
     numbers coarse vertices in fine-id order (deterministic).
+    """
+    n = hg.num_vertices
+    vw = hg.vertex_weight_list
+    cand_ptr, cand_u, cand_s = _matching_candidates(hg, large_edge_limit)
+
+    match = [-1] * n
+    matched_pairs = 0
+    match_score = 0.0
+    for v in rng.permutation(n).tolist():
+        if match[v] != -1:
+            continue
+        best_u = -1
+        best_score = 0.0
+        wv = vw[v]
+        for i in range(cand_ptr[v], cand_ptr[v + 1]):
+            u = cand_u[i]
+            if match[u] != -1 or wv + vw[u] > max_weight:
+                continue
+            s = cand_s[i]
+            if s > best_score:
+                best_score = s
+                best_u = u
+        if best_u != -1:
+            match[v] = best_u
+            match[best_u] = v
+            matched_pairs += 1
+            match_score += best_score
+        else:
+            match[v] = v
+
+    # number clusters in fine-id order: each cluster's id is the rank
+    # of its smallest member, which np.unique's sorted inverse yields
+    # directly (rep[v] = min(v, partner))
+    match_arr = np.asarray(match, dtype=np.int64)
+    rep = np.minimum(np.arange(n, dtype=np.int64), match_arr)
+    _, mapping = np.unique(rep, return_inverse=True)
+    return mapping.astype(np.int64, copy=False), matched_pairs, match_score
+
+
+def _edge_pin_lists(hg: Hypergraph) -> list[list[int]]:
+    """Per-edge pin lists as plain Python ints (one bulk CSR gather).
+
+    Reference-path utility only: the production matcher reads CSR
+    slices directly, this feeds the retained scalar oracle below.
+    """
+    flat, counts = hg.edges_pins(np.arange(hg.num_edges, dtype=np.int64))
+    flat_list = flat.tolist()
+    out: list[list[int]] = []
+    pos = 0
+    for c in counts.tolist():
+        out.append(flat_list[pos:pos + c])
+        pos += c
+    return out
+
+
+def _heavy_edge_matching_reference(
+    hg: Hypergraph,
+    rng: np.random.Generator,
+    max_weight: int,
+    large_edge_limit: int,
+) -> tuple[np.ndarray, int, float]:
+    """Scalar dict-accumulation matching — the retained oracle.
+
+    The pre-vectorization implementation, kept verbatim so the
+    randomized bit-identity test can pin :func:`_heavy_edge_matching`
+    (mapping, pair count and float score all exactly equal) against
+    the original semantics across seeds and adversarial edge shapes.
     """
     n = hg.num_vertices
     vertex_weight = hg.vertex_weight_list

@@ -4,6 +4,9 @@ Public surface:
 
 * :class:`Hypergraph`, :class:`HypergraphBuilder` — the immutable
   weighted hypergraph and its incremental constructor.
+  :meth:`Hypergraph.from_csr` is the array-native freeze boundary: bulk
+  builders hand over finished ``edge_ptr``/``edge_pins`` arrays with no
+  per-edge list round-trip.
 * :class:`PartitionState` — mutable k-way assignment with incremental
   cut tracking (all partitioners operate through it).
 * :func:`hyperedge_cut`, :func:`connectivity_cut`, :func:`part_weights`,

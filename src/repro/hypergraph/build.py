@@ -24,7 +24,7 @@ from ..obs.recorder import NULL_RECORDER, Recorder
 from ..verilog.netlist import HierNode, Netlist
 from ..verilog.netlist_csr import NetlistCSR
 from .dtypes import index_dtype, require_int64
-from .hypergraph import Hypergraph
+from .hypergraph import Hypergraph, _csr_gather
 
 __all__ = ["Cluster", "Clustering", "flat_hypergraph", "hierarchy_hypergraph",
            "project_hypergraph", "streamed_flat_hypergraph"]
@@ -316,7 +316,7 @@ def streamed_flat_hypergraph(
     multi = sizes >= 2
     edge_sizes = sizes[multi]
     pin_keep = np.repeat(multi, sizes)
-    edge_pins = require_int64(gates[pin_keep])
+    edge_pins = gates[pin_keep]  # from_csr widens at the freeze boundary
     num_edges = len(edge_sizes)
     edge_ptr = np.zeros(num_edges + 1, dtype=np.int64)
     np.cumsum(edge_sizes, dtype=np.int64, out=edge_ptr[1:])
@@ -326,11 +326,46 @@ def streamed_flat_hypergraph(
         recorder.incr("part.build.pins", csr.num_pins)
         recorder.incr("part.build.edges", num_edges)
         recorder.incr("part.build.edge_pins", len(edge_pins))
-    return Hypergraph(
+    return Hypergraph.from_csr(
         vertex_weight=np.ones(n_gates, dtype=np.int64),
         edge_weight=np.ones(num_edges, dtype=np.int64),
         edge_ptr=edge_ptr,
         edge_pins=edge_pins,
+    )
+
+
+#: splitmix64 finalizer seeds for the two independent pin-set
+#: fingerprints of :func:`_edge_fingerprints`
+_FP_SEED1 = np.uint64(0x9E3779B97F4A7C15)
+_FP_SEED2 = np.uint64(0xD1B54A32D192ED03)
+
+
+def _mix64(x: np.ndarray, seed: np.uint64) -> np.ndarray:
+    """splitmix64 finalizer over a uint64 array (wraps mod 2^64)."""
+    z = x + seed
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def _edge_fingerprints(
+    pins: np.ndarray, starts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two independent 64-bit pin-set fingerprints per CSR segment.
+
+    Each fingerprint is a sum (mod 2^64) of a mixed pin id over the
+    edge's segment — associative, so the segmented ``reduceat`` is
+    exact.  Equal pin sets always collide by construction; unequal
+    sets collide with probability ~2^-128 per pair, and the projection
+    verifies every adjacent fingerprint match against the actual pin
+    content anyway, so a collision costs a rare exact-regroup fallback,
+    never correctness (stress-tested by forcing this function to a
+    constant).
+    """
+    x = pins.astype(np.uint64, copy=False)
+    return (
+        np.add.reduceat(_mix64(x, _FP_SEED1), starts),
+        np.add.reduceat(_mix64(x, _FP_SEED2), starts),
     )
 
 
@@ -346,9 +381,15 @@ def project_hypergraph(hg: Hypergraph, mapping: np.ndarray) -> Hypergraph:
     assignment ``A``, the weighted cut of ``A`` on the coarse
     hypergraph equals the weighted cut of ``A[mapping]`` on ``hg``.
 
-    The pin rewrite is fully vectorized over the CSR arrays (one
-    lexsort over the pin list); only the cross-edge deduplication walks
-    per-edge Python tuples.
+    Fully array-native: one lexsort rewrites and dedupes pins within
+    each edge, parallel edges are grouped by a fingerprint sort with
+    exact adjacent-content verification (collisions fall back to an
+    exact per-run regroup — see :func:`_edge_fingerprints`), weights
+    merge with a segmented scatter-add, and the coarse CSR freezes
+    through :meth:`Hypergraph.from_csr` with no per-edge Python lists.
+    Output is byte-identical to the retained reference
+    (:func:`_project_hypergraph_reference`): coarse edges ordered by
+    first fine occurrence, pins ascending.
     """
     mapping = np.asarray(mapping, dtype=np.int64)
     if mapping.shape != (hg.num_vertices,):
@@ -362,6 +403,109 @@ def project_hypergraph(hg: Hypergraph, mapping: np.ndarray) -> Hypergraph:
 
     # rewrite every pin to its cluster, then dedupe within each edge:
     # sort (edge, coarse pin) pairs once and drop repeated rows
+    pin_edge = hg.pin_edges
+    pin_coarse = mapping[hg.pin_vertices]
+    order = np.lexsort((pin_coarse, pin_edge))
+    e_sorted = pin_edge[order]
+    v_sorted = pin_coarse[order]
+    keep = np.ones(len(order), dtype=bool)
+    if len(order) > 1:
+        keep[1:] = (e_sorted[1:] != e_sorted[:-1]) | (v_sorted[1:] != v_sorted[:-1])
+    e_kept = e_sorted[keep]
+    v_kept = v_sorted[keep]
+
+    # surviving edges (>= 2 coarse pins), pins contiguous and ascending
+    if len(e_kept):
+        starts_all = np.flatnonzero(
+            np.concatenate(([True], e_kept[1:] != e_kept[:-1]))
+        )
+        sizes_all = np.diff(np.concatenate((starts_all, [len(e_kept)])))
+    else:
+        starts_all = np.empty(0, dtype=np.int64)
+        sizes_all = starts_all
+    multi = sizes_all >= 2
+    pins = v_kept[np.repeat(multi, sizes_all)]
+    esz = sizes_all[multi]
+    w_fine = hg.edge_weight[e_kept[starts_all[multi]]]
+    m = len(esz)
+    if m == 0:
+        return Hypergraph.from_csr(
+            coarse_weights, np.empty(0, dtype=np.int64),
+            np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64),
+        )
+    eptr = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(esz, dtype=np.int64, out=eptr[1:])
+
+    # group parallel edges: sort by (size, fingerprint), verify every
+    # adjacent fingerprint match against the actual pins, and chain
+    # verified matches into groups via a running leader index
+    h1, h2 = _edge_fingerprints(pins, eptr[:-1])
+    sort_order = np.lexsort((h2, h1, esz))
+    esz_s = esz[sort_order]
+    h1_s = h1[sort_order]
+    h2_s = h2[sort_order]
+    same_fp = np.zeros(m, dtype=bool)
+    same_fp[1:] = (esz_s[1:] == esz_s[:-1]) & (h1_s[1:] == h1_s[:-1]) \
+        & (h2_s[1:] == h2_s[:-1])
+    same = np.zeros(m, dtype=bool)
+    cand = np.flatnonzero(same_fp)  # positions whose predecessor matches
+    bad = np.empty(0, dtype=np.int64)
+    if len(cand):
+        pa, ca = _csr_gather(eptr, pins, sort_order[cand - 1])
+        pb, _ = _csr_gather(eptr, pins, sort_order[cand])
+        neq = (pa != pb).astype(np.int64)
+        seg = np.concatenate(([0], np.cumsum(ca)[:-1]))
+        mismatch = np.add.reduceat(neq, seg) > 0
+        same[cand] = ~mismatch
+        bad = cand[mismatch]
+    leader = np.maximum.accumulate(np.where(same, -1, np.arange(m)))
+    if len(bad):
+        # true fingerprint collision (~2^-128 per pair): regroup the
+        # enclosing fingerprint runs exactly, by pin-content identity
+        fp_run = np.cumsum(~same_fp)
+        for r in np.unique(fp_run[bad]):
+            first: dict[tuple[int, ...], int] = {}
+            for i in np.flatnonzero(fp_run == r).tolist():
+                e = sort_order[i]
+                key = tuple(pins[eptr[e]:eptr[e + 1]].tolist())
+                leader[i] = first.setdefault(key, i)
+
+    # one coarse edge per group, ordered by first fine occurrence (the
+    # reference dict's insertion order), weights summed over members
+    min_orig = np.full(m, m, dtype=np.int64)
+    np.minimum.at(min_orig, leader, sort_order)
+    wsum = np.zeros(m, dtype=np.int64)
+    np.add.at(wsum, leader, w_fine[sort_order])
+    leaders = np.flatnonzero(min_orig < m)
+    g_order = leaders[np.argsort(min_orig[leaders], kind="stable")]
+    lead_e = sort_order[g_order]
+    g_pins, g_sizes = _csr_gather(eptr, pins, lead_e)
+    g_ptr = np.zeros(len(g_order) + 1, dtype=np.int64)
+    np.cumsum(g_sizes, dtype=np.int64, out=g_ptr[1:])
+    return Hypergraph.from_csr(coarse_weights, wsum[g_order], g_ptr, g_pins)
+
+
+def _project_hypergraph_reference(
+    hg: Hypergraph, mapping: np.ndarray
+) -> Hypergraph:
+    """Reference contraction with tuple-dict parallel-edge dedup.
+
+    The pre-vectorization implementation, retained verbatim as the
+    byte-identity oracle for :func:`project_hypergraph`
+    (``tests/test_coarsen_vectorized.py``).  Semantics are the spec:
+    coarse edges appear in first-fine-occurrence order, keyed by their
+    sorted coarse pin tuple, weights accumulated over parallel edges.
+    """
+    mapping = np.asarray(mapping, dtype=np.int64)
+    if mapping.shape != (hg.num_vertices,):
+        raise PartitionError(
+            f"mapping must have one entry per vertex "
+            f"({hg.num_vertices}), got shape {mapping.shape}"
+        )
+    num_coarse = int(mapping.max()) + 1 if mapping.size else 0
+    coarse_weights = np.zeros(num_coarse, dtype=np.int64)
+    np.add.at(coarse_weights, mapping, hg.vertex_weight)
+
     pin_edge = hg.pin_edges
     pin_coarse = mapping[hg.pin_vertices]
     order = np.lexsort((pin_coarse, pin_edge))

@@ -140,6 +140,47 @@ class Hypergraph:
             ew = np.asarray(edge_weights, dtype=np.int64)
         return cls(vw, ew, ptr, pins, vertex_names, edge_names)
 
+    @classmethod
+    def from_csr(
+        cls,
+        vertex_weight: np.ndarray,
+        edge_weight: np.ndarray,
+        edge_ptr: np.ndarray,
+        edge_pins: np.ndarray,
+        vertex_names: Sequence[str] | None = None,
+        edge_names: Sequence[str] | None = None,
+    ) -> "Hypergraph":
+        """Freeze pre-built CSR arrays into a hypergraph directly.
+
+        The array-native construction boundary: bulk builders
+        (:func:`~repro.hypergraph.build.streamed_flat_hypergraph`, the
+        multilevel projection) assemble ``edge_ptr``/``edge_pins`` with
+        vectorized passes and hand them over without any per-edge
+        Python list round-trip.  Unlike :meth:`from_edges` the pin
+        lists are **not** re-sorted or deduplicated — each edge's slice
+        must already hold strictly increasing vertex ids (the order
+        every query kernel assumes); the pointer array must start at 0,
+        be non-decreasing and end at ``len(edge_pins)``.  Arrays are
+        widened to the frozen int64 substrate
+        (:func:`~repro.hypergraph.dtypes.require_int64` policy) but
+        never copied when already int64.
+        """
+        from .dtypes import require_int64
+
+        ptr = require_int64(np.asarray(edge_ptr))
+        pins = require_int64(np.asarray(edge_pins))
+        if len(ptr) == 0 or ptr[0] != 0 or int(ptr[-1]) != len(pins):
+            raise HypergraphError(
+                "edge pointer array must start at 0 and end at the pin count"
+            )
+        if len(ptr) > 1 and (np.diff(ptr) < 0).any():
+            raise HypergraphError("edge pointer array must be non-decreasing")
+        return cls(
+            require_int64(np.asarray(vertex_weight)),
+            require_int64(np.asarray(edge_weight)),
+            ptr, pins, vertex_names, edge_names,
+        )
+
     def _build_vertex_index(self) -> None:
         """Construct the transposed (vertex → edges) CSR arrays.
 

@@ -496,6 +496,58 @@ class PartitionState:
         gains[self.part[vertices] == to_arr] = 0
         return gains
 
+    def move_gains_matrix(
+        self,
+        vertices: Sequence[int] | np.ndarray,
+        to_parts: Sequence[int] | np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused all-destinations gather: ``(T, V)`` cut-gain and SOED-
+        gain matrices for moving each of ``vertices`` into each of
+        ``to_parts``.
+
+        Entry ``[t, i]`` equals :meth:`move_gains` (resp.
+        :meth:`move_soed_gains`) of ``vertices[i]`` toward
+        ``to_parts[t]`` — exact integers, 0 when the vertex already
+        sits in that block — but the incidence CSR gather, λ lookup
+        and source-block analysis run **once** for the whole matrix
+        instead of once per destination per objective.  This is the
+        batch refiner's whole-boundary scoring kernel; collapsing its
+        ``2·T`` stacked vector queries into one call is what keeps the
+        per-round gather affordable at a million vertices.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        targets = np.asarray(to_parts, dtype=np.int64)
+        tcount = len(targets)
+        self.gain_batches += 1
+        self.gain_batch_vertices += len(vertices)
+        gains = np.zeros((tcount, len(vertices)), dtype=np.int64)
+        soeds = np.zeros((tcount, len(vertices)), dtype=np.int64)
+        if not len(vertices) or not tcount:
+            return gains, soeds
+        hg = self.hg
+        edges, deg = hg.vertices_edges(vertices)
+        if len(edges):
+            self.lambda_hits += len(edges)
+            counts = self.edge_part_count
+            frm = np.repeat(self.part[vertices], deg)
+            last_in_from = (counts[edges, frm] == 1)[:, None]       # (E, 1)
+            to_empty = counts[np.ix_(edges, targets)] == 0          # (E, T)
+            lam = self.edge_lambda[edges][:, None]
+            w = hg.edge_weight[edges][:, None]
+            new_lam = lam - last_in_from + to_empty
+            cut_delta = np.where((lam > 1) & (new_lam == 1), w, 0) \
+                - np.where((lam == 1) & (new_lam > 1), w, 0)
+            soed_delta = np.where(last_in_from, w, 0) \
+                - np.where(to_empty, w, 0)
+            nz = np.flatnonzero(deg)
+            starts = (np.cumsum(deg) - deg)[nz]
+            gains[:, nz] = np.add.reduceat(cut_delta, starts, axis=0).T
+            soeds[:, nz] = np.add.reduceat(soed_delta, starts, axis=0).T
+        own = targets[:, None] == self.part[vertices][None, :]
+        gains[own] = 0
+        soeds[own] = 0
+        return gains, soeds
+
     # -- mutation -------------------------------------------------------------
 
     def move(self, v: int, to_part: int) -> int:

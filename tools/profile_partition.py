@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Profile the multilevel partitioner on a streamed scale-ladder rung.
+
+Runs cProfile over one ``multilevel_kway_partition`` call on a named
+stream circuit (the scale-ladder workload shape: streamed array-native
+build, batch refiner) and prints the top cumulative functions plus the
+recorder's per-phase wall breakdown (coarsen / initial / uncoarsen /
+batch_refine).  This is the before/after evidence harness for
+partitioner kernel work — the peer of ``tools/profile_sim.py`` on the
+partitioning side (docs/performance.md, "Coarsening" and "Scale
+ladder", record the numbers it moved).
+
+Examples::
+
+    PYTHONPATH=src python tools/profile_partition.py
+    PYTHONPATH=src python tools/profile_partition.py \\
+        --circuit viterbi-s10k --k 4 --top 30
+    PYTHONPATH=src python tools/profile_partition.py --refiner fm \\
+        --sort tottime
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.circuits import load_stream_circuit  # noqa: E402
+from repro.core import multilevel_kway_partition  # noqa: E402
+from repro.core.batch_refine import REFINERS  # noqa: E402
+from repro.hypergraph.build import streamed_flat_hypergraph  # noqa: E402
+from repro.obs import MetricsRecorder  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cProfile one multilevel partition of a stream rung")
+    parser.add_argument("--circuit", default="viterbi-s100k",
+                        help="stream circuit registry name "
+                             "(default: %(default)s)")
+    parser.add_argument("--k", type=int, default=8,
+                        help="partition count (default: %(default)s)")
+    parser.add_argument("--b", type=float, default=5.0,
+                        help="Formula-1 balance factor "
+                             "(default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="matching / initial-fill seed")
+    parser.add_argument("--refiner", default="batch", choices=REFINERS,
+                        help="per-level refiner (default: %(default)s)")
+    parser.add_argument("--top", type=int, default=25,
+                        help="functions to print")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "calls"),
+                        help="pstats sort order")
+    args = parser.parse_args(argv)
+
+    csr = load_stream_circuit(args.circuit)
+    hg = streamed_flat_hypergraph(csr)
+    print(f"circuit={args.circuit} gates={csr.num_gates} "
+          f"edges={hg.num_edges} pins={hg.num_pins} "
+          f"k={args.k} b={args.b} refiner={args.refiner}")
+
+    rec = MetricsRecorder()
+    prof = cProfile.Profile()
+    result = prof.runcall(
+        multilevel_kway_partition, hg, args.k, args.b,
+        seed=args.seed, workers=1, recorder=rec, refiner=args.refiner,
+    )
+    stats = pstats.Stats(prof, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+
+    print(f"cut={result.cut_size} balanced={result.balanced} "
+          f"levels={result.levels} rounds={result.refine_rounds}")
+    print("phase walls:")
+    for phase, wall in rec.host_timings().items():
+        if phase.startswith("partition."):
+            print(f"  {phase:>26}: {wall:8.3f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

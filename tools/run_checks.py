@@ -10,7 +10,11 @@ Runs, in order, stopping at the first failure:
    in the docs must resolve;
 3. the observability selfcheck (``python -m repro obs selfcheck``) —
    analyzers, span-tree invariants, worker-lane merge and the
-   Chrome-trace exporter on built-in artifacts.
+   Chrome-trace exporter on built-in artifacts;
+4. the scale-ladder smoke rung (``benchmarks/bench_scale_ladder.py
+   --rungs 1``) — the 10k rung builds, partitions balanced, and its
+   per-phase coarsen/refine wall breakdown carries every expected
+   recorder phase (the smoke asserts the breakdown keys exist).
 
 Usage::
 
